@@ -1,0 +1,500 @@
+package utk
+
+// One testing.B benchmark per paper table/figure. Each benchmark times the
+// core operation of its figure at a small but representative configuration,
+// so `go test -bench=.` finishes quickly; the full sweeps that regenerate
+// the figures' tables live in cmd/utkbench (see DESIGN.md §3 for the
+// mapping). Dataset construction is cached across benchmarks.
+
+import (
+	"math/rand"
+
+	"fmt"
+	"repro/internal/arrangement"
+	"repro/internal/klevel"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/hull"
+	"repro/internal/rtree"
+	"repro/internal/skyband"
+)
+
+type benchData struct {
+	data [][]float64
+	tree *rtree.Tree
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*benchData{}
+)
+
+func benchDataset(b *testing.B, name string, gen func() [][]float64) *benchData {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if d, ok := benchCache[name]; ok {
+		return d
+	}
+	data := gen()
+	tree, err := rtree.BulkLoad(data, rtree.DefaultFanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &benchData{data: data, tree: tree}
+	benchCache[name] = d
+	return d
+}
+
+func benchIND(b *testing.B, n, d int) *benchData {
+	return benchDataset(b, fmt.Sprintf("IND-%d-%d", n, d), func() [][]float64 {
+		return dataset.Synthetic(dataset.IND, n, d, 1)
+	})
+}
+
+func benchBox(b *testing.B, dim int, sigma float64) *geom.Region {
+	b.Helper()
+	return experiments.RandomBoxes(dim, sigma, 1, 7)[0]
+}
+
+const (
+	benchN     = 50000
+	benchD     = 4
+	benchK     = 10
+	benchSigma = 0.01
+)
+
+// BenchmarkFig9CaseStudy runs the 3-attribute NBA case study end to end
+// (Figure 9(b)).
+func BenchmarkFig9CaseStudy(b *testing.B) {
+	players := dataset.NBA2017()
+	m, err := dataset.PlayersMatrix(players, "reb", "pts", "ast")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := dataset.Normalize10(m)
+	tree, err := rtree.BulkLoad(data, rtree.DefaultFanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := geom.NewBox([]float64{0.2, 0.5}, []float64{0.3, 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.JAA(tree, r, 3, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10aFilters measures the three operators Figure 10(a) compares.
+func BenchmarkFig10aFilters(b *testing.B) {
+	nba := benchDataset(b, "NBA-6000", func() [][]float64 { return dataset.NBA(6000, 1) })
+	r := benchBox(b, 7, benchSigma)
+	b.Run("k-skyband", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			skyband.KSkyband(nba.tree, benchK)
+		}
+	})
+	b.Run("onion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.FilterOnly(nba.tree, nba.data, benchK, baseline.ON)
+		}
+	})
+	b.Run("UTK1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RSA(nba.tree, r, benchK, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig10bTopKCover measures the incremental top-k probe Figure 10(b)
+// compares UTK1 against.
+func BenchmarkFig10bTopKCover(b *testing.B) {
+	nba := benchDataset(b, "NBA-6000", func() [][]float64 { return dataset.NBA(6000, 1) })
+	r := benchBox(b, 7, benchSigma)
+	ids, _, err := core.RSA(nba.tree, r, benchK, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pivot := r.Pivot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := map[int]bool{}
+		for _, id := range ids {
+			want[id] = true
+		}
+		covered := 0
+		// Incremental top-k by growing k until all UTK1 records are output.
+		for kk := benchK; covered < len(want); kk *= 2 {
+			covered = 0
+			top, err := benchTopK(nba.data, pivot, kk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, id := range top {
+				if want[id] {
+					covered++
+				}
+			}
+		}
+	}
+}
+
+func benchTopK(data [][]float64, w []float64, k int) ([]int, error) {
+	ds, err := NewDataset(data)
+	if err != nil {
+		return nil, err
+	}
+	return ds.TopK(w, k)
+}
+
+// BenchmarkFig11aUTK1 compares SK, ON, and RSA at the default k
+// (Figure 11(a)).
+func BenchmarkFig11aUTK1(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, benchSigma)
+	skC := baseline.FilterOnly(idx.tree, idx.data, benchK, baseline.SK)
+	onC := baseline.FilterOnly(idx.tree, idx.data, benchK, baseline.ON)
+	b.Run("SK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.UTK1From(skC, r, benchK, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ON", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.UTK1From(onC, r, benchK, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RSA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RSA(idx.tree, r, benchK, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig11bUTK2 compares SK, ON, and JAA for UTK2 (Figure 11(b)).
+func BenchmarkFig11bUTK2(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, benchSigma)
+	skC := baseline.FilterOnly(idx.tree, idx.data, benchK, baseline.SK)
+	b.Run("SK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.UTK2From(skC, r, benchK, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("JAA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig12 covers the distribution/cardinality sweep of Figure 12:
+// RSA and JAA on each distribution at the bench scale.
+func BenchmarkFig12(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.COR, dataset.IND, dataset.ANTI} {
+		kind := kind
+		idx := benchDataset(b, "F12-"+kind.String(), func() [][]float64 {
+			return dataset.Synthetic(kind, benchN, benchD, 1)
+		})
+		r := benchBox(b, benchD-1, benchSigma)
+		b.Run("RSA/"+kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.RSA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("JAA/"+kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Dimensionality sweeps data dimensionality (Figure 13).
+func BenchmarkFig13Dimensionality(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5, 6, 7} {
+		d := d
+		idx := benchIND(b, benchN, d)
+		r := benchBox(b, d-1, benchSigma)
+		b.Run(fmt.Sprintf("RSA/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.RSA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("JAA/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14RegionSize sweeps the query region side σ (Figure 14).
+func BenchmarkFig14RegionSize(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	for _, sigma := range []float64{0.001, 0.01, 0.05} {
+		r := benchBox(b, benchD-1, sigma)
+		b.Run(fmt.Sprintf("RSA/sigma=%g", sigma), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.RSA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("JAA/sigma=%g", sigma), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig15RealDatasets runs JAA on the three real-data surrogates
+// (Figure 15).
+func BenchmarkFig15RealDatasets(b *testing.B) {
+	specs := []struct {
+		name string
+		d    int
+		gen  func() [][]float64
+	}{
+		{"HOTEL", 4, func() [][]float64 { return dataset.Hotel(50000, 1) }},
+		{"HOUSE", 6, func() [][]float64 { return dataset.House(40000, 1) }},
+		{"NBA", 8, func() [][]float64 { return dataset.NBA(6000, 1) }},
+	}
+	for _, s := range specs {
+		idx := benchDataset(b, "F15-"+s.name, s.gen)
+		r := benchBox(b, s.d-1, benchSigma)
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig16RegionSizeReal sweeps σ on the HOTEL surrogate (Figure 16).
+func BenchmarkFig16RegionSizeReal(b *testing.B) {
+	idx := benchDataset(b, "F15-HOTEL", func() [][]float64 { return dataset.Hotel(50000, 1) })
+	for _, sigma := range []float64{0.001, 0.01, 0.05} {
+		r := benchBox(b, 3, sigma)
+		b.Run(fmt.Sprintf("sigma=%g", sigma), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Defaults runs both algorithms at the Table 1 default
+// parameters — the headline configuration of the whole evaluation.
+func BenchmarkTable1Defaults(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, benchSigma)
+	b.Run("RSA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RSA(idx.tree, r, benchK, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("JAA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JAA(idx.tree, r, benchK, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDrill quantifies the drill optimization (DESIGN.md
+// ablation).
+func BenchmarkAblationDrill(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, benchSigma)
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"drill=graph", core.Options{}},
+		{"drill=linear", core.Options{LinearDrill: true}},
+		{"drill=off", core.Options{DisableDrill: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.RSA(idx.tree, r, benchK, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubstrates measures the supporting structures in isolation:
+// filtering (r-skyband + graph), the R-tree build, and onion layers.
+func BenchmarkSubstrates(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, benchSigma)
+	b.Run("rskyband-graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			skyband.BuildGraph(idx.tree, r, benchK)
+		}
+	})
+	b.Run("rtree-bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtree.BulkLoad(idx.data, rtree.DefaultFanout); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("onion-on-skyband", func(b *testing.B) {
+		sky := skyband.KSkyband(idx.tree, benchK)
+		recs := make([][]float64, len(sky))
+		for i, id := range sky {
+			recs[i] = idx.data[id]
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hull.OnionLayers(recs, benchK)
+		}
+	})
+}
+
+// BenchmarkQuadVsBinary compares the two arrangement-indexing approaches of
+// Section 4.5 (space-partitioning quad tree vs implicit binary split tree)
+// on identical half-space workloads — the design-choice ablation DESIGN.md
+// calls out.
+func BenchmarkQuadVsBinary(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const dim = 3
+	lo := []float64{0.2, 0.2, 0.2}
+	hi := []float64{0.3, 0.3, 0.3}
+	const nHS = 24
+	hs := make([]geom.Halfspace, nHS)
+	for i := range hs {
+		h := geom.Halfspace{A: make([]float64, dim)}
+		for j := range h.A {
+			h.A[j] = rng.NormFloat64()
+		}
+		for j := range h.A {
+			h.B += h.A[j] * (lo[j] + rng.Float64()*(hi[j]-lo[j]))
+		}
+		hs[i] = h
+	}
+	base := boxHalfspacesBench(lo, hi)
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			arr, err := arrangement.New(dim, base, nHS, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for id, h := range hs {
+				arr.Insert(id, h)
+			}
+			_ = arr.MinCount()
+		}
+	})
+	b.Run("quad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q, err := arrangement.NewQuad(lo, hi, nHS, 6, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for id, h := range hs {
+				q.Insert(id, h)
+			}
+			_ = q.MinCount()
+		}
+	})
+}
+
+func boxHalfspacesBench(lo, hi []float64) []geom.Halfspace {
+	out := make([]geom.Halfspace, 0, 2*len(lo))
+	for i := range lo {
+		a := make([]float64, len(lo))
+		a[i] = 1
+		out = append(out, geom.Halfspace{A: a, B: lo[i]})
+		bb := make([]float64, len(lo))
+		bb[i] = -1
+		out = append(out, geom.Halfspace{A: bb, B: -hi[i]})
+	}
+	return out
+}
+
+// BenchmarkSweep2D compares the d = 2 dual-line sweep fast path against the
+// general RSA/JAA machinery on 2-attribute data.
+func BenchmarkSweep2D(b *testing.B) {
+	data := dataset.Synthetic(dataset.IND, 50000, 2, 3)
+	tree, err := rtree.BulkLoad(data, rtree.DefaultFanout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := geom.NewBox([]float64{0.4}, []float64{0.45})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := klevel.UTK2(data, 0.4, 0.45, benchK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("JAA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.JAA(tree, r, benchK, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelRSA measures the Workers option scaling.
+func BenchmarkParallelRSA(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, 0.05) // larger region: more candidates to share
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.RSA(idx.tree, r, 20, core.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

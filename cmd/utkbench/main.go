@@ -1,0 +1,50 @@
+// Command utkbench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment is addressed by its figure number:
+//
+//	utkbench -list                 # show available experiments
+//	utkbench -fig 11a              # UTK1: SK vs ON vs RSA, varying k
+//	utkbench -fig all              # run the whole suite
+//	utkbench -fig 12a -paper       # full paper-scale sweep (slow)
+//	utkbench -fig 14b -queries 20  # more query boxes per point
+//
+// Quick scale (default) reduces dataset cardinality and averages 5 random
+// query boxes per measurement point; -paper switches to the Table 1 setup
+// (n up to 1.6M, 50 queries per point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment to run (figure number, e.g. 11a, or 'all')")
+		list    = flag.Bool("list", false, "list available experiments")
+		paper   = flag.Bool("paper", false, "run at full paper scale (slow)")
+		queries = flag.Int("queries", 0, "random query boxes per measurement point (0 = scale default)")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+		n       = flag.Int("n", 0, "override dataset cardinality (0 = scale default)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Paper: *paper, Queries: *queries, Seed: *seed, CustomN: *n, Out: os.Stdout}
+	if err := experiments.Run(*fig, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "utkbench:", err)
+		os.Exit(1)
+	}
+}

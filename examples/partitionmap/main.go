@@ -1,0 +1,98 @@
+// Command partitionmap renders the UTK2 partitioning of the paper's
+// Figure 1 example as an ASCII map of the preference region — the textual
+// analogue of the paper's Figure 1(b). Each letter marks the partition (and
+// hence the exact top-2 set) that a weight vector falls into.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	hotels := []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	ds, err := utk.NewDataset([][]float64{
+		{8.3, 9.1, 7.2}, // p1
+		{2.4, 9.6, 8.6}, // p2
+		{5.4, 1.6, 4.1}, // p3
+		{2.6, 6.9, 9.4}, // p4
+		{7.3, 3.1, 2.4}, // p5
+		{7.9, 6.4, 6.6}, // p6
+		{8.6, 7.1, 4.3}, // p7
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo := []float64{0.05, 0.05}
+	hi := []float64{0.45, 0.25}
+	region, err := utk.NewBoxRegion(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ds.UTK2(utk.Query{K: 2, Region: region})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assign one letter per distinct top-2 set.
+	letters := map[string]byte{}
+	legend := map[byte]string{}
+	keyOf := func(ids []int) string {
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = hotels[id]
+		}
+		sort.Strings(names)
+		return fmt.Sprint(names)
+	}
+	for _, c := range res.Cells {
+		k := keyOf(c.TopK)
+		if _, ok := letters[k]; !ok {
+			b := byte('A' + len(letters))
+			letters[k] = b
+			legend[b] = k
+		}
+	}
+
+	const cols, rows = 64, 20
+	fmt.Printf("UTK2 partitioning of R = [%.2f, %.2f] × [%.2f, %.2f] (k = 2)\n\n",
+		lo[0], hi[0], lo[1], hi[1])
+	for row := rows - 1; row >= 0; row-- {
+		w2 := lo[1] + (hi[1]-lo[1])*(float64(row)+0.5)/rows
+		line := make([]byte, cols)
+		for col := 0; col < cols; col++ {
+			w1 := lo[0] + (hi[0]-lo[0])*(float64(col)+0.5)/cols
+			ch := byte('?')
+			for i := range res.Cells {
+				if res.Cells[i].Contains([]float64{w1, w2}) {
+					ch = letters[keyOf(res.Cells[i].TopK)]
+					break
+				}
+			}
+			line[col] = ch
+		}
+		fmt.Printf("w2=%.3f |%s|\n", w2, line)
+	}
+	fmt.Printf("         w1: %.2f%*s%.2f\n\n", lo[0], cols-7, "", hi[0])
+
+	var keys []byte
+	for b := range legend {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, b := range keys {
+		fmt.Printf("  %c = top-2 %s\n", b, legend[b])
+	}
+
+	// The exact cell geometry is available too: print the corner points of
+	// the first partition (the polygon a plotting tool would draw).
+	if len(res.Cells) > 0 {
+		fmt.Printf("\nPartition around %v has corners:\n", res.Cells[0].Interior)
+		for _, v := range res.Cells[0].Vertices() {
+			fmt.Printf("  (%.3f, %.3f)\n", v[0], v[1])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command quickstart demonstrates the core UTK workflow on the paper's
+// running example (Figure 1): seven hotels rated on Service, Cleanliness,
+// and Location, a user whose preferences are only approximately known, and
+// the two query flavors — UTK1 ("which hotels could be in my top-2?") and
+// UTK2 ("what exactly is the top-2 for every admissible preference?").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	hotels := []string{"p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	ratings := [][]float64{
+		{8.3, 9.1, 7.2}, // p1
+		{2.4, 9.6, 8.6}, // p2
+		{5.4, 1.6, 4.1}, // p3
+		{2.6, 6.9, 9.4}, // p4
+		{7.3, 3.1, 2.4}, // p5
+		{7.9, 6.4, 6.6}, // p6
+		{8.6, 7.1, 4.3}, // p7
+	}
+	ds, err := utk.NewDataset(ratings)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A traditional top-2 query with exact weights (0.3, 0.5, 0.2): the last
+	// weight is implicit (weights sum to one), so only w1 and w2 are given.
+	exact := []float64{0.3, 0.5}
+	top, err := ds.TopK(exact, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Exact top-2 at w = (0.3, 0.5, 0.2):")
+	for _, id := range top {
+		fmt.Printf("  %s %v\n", hotels[id], ratings[id])
+	}
+
+	// The user cannot really pin the weights down: expand them into the
+	// region R = [0.05, 0.45] × [0.05, 0.25] of Figure 1.
+	region, err := utk.NewBoxRegion([]float64{0.05, 0.05}, []float64{0.45, 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// UTK1: every hotel that can make the top-2 somewhere in R.
+	res1, err := ds.UTK1(utk.Query{K: 2, Region: region})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nUTK1 — hotels that may rank top-2 for weights in R:")
+	for _, id := range res1.Records {
+		fmt.Printf("  %s %v\n", hotels[id], ratings[id])
+	}
+	fmt.Printf("  (filtering kept %d candidates out of %d records)\n",
+		res1.Stats.Candidates, ds.Len())
+
+	// UTK2: the exact top-2 set for every weight vector in R.
+	res2, err := ds.UTK2(utk.Query{K: 2, Region: region})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUTK2 — %d partitions of R (%d distinct top-2 sets):\n",
+		len(res2.Cells), res2.Stats.UniqueTopKSets)
+	for _, cell := range res2.Cells {
+		names := make([]string, len(cell.TopK))
+		for i, id := range cell.TopK {
+			names[i] = hotels[id]
+		}
+		fmt.Printf("  around w = (%.3f, %.3f): top-2 = %v\n",
+			cell.Interior[0], cell.Interior[1], names)
+	}
+
+	// Any weight vector in R can be answered instantly from the partitioning.
+	w := []float64{0.10, 0.10}
+	if cell := res2.CellAt(w); cell != nil {
+		fmt.Printf("\nAt w = (%.2f, %.2f, %.2f) the top-2 is %v\n",
+			w[0], w[1], 1-w[0]-w[1], cell.TopK)
+	}
+}

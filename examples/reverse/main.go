@@ -1,0 +1,94 @@
+// Command reverse demonstrates the monochromatic reverse top-k query from
+// the product owner's perspective: a hotel manager wants to know for which
+// customer preference profiles their hotel shows up in the top-10 — and who
+// beats them where it does not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	records := dataset.Hotel(40000, 11)
+	ds, err := utk.NewDataset(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Preference profiles of interest: all mixes that weigh Service
+	// 20–40%, Cleanliness 20–40%, Location 10–30% (Value takes the rest).
+	region, err := utk.NewBoxRegion(
+		[]float64{0.20, 0.20, 0.10},
+		[]float64{0.40, 0.40, 0.30},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 10
+
+	// Pick an interesting focal hotel: the last member of the top-10 at the
+	// central profile — strong, but contestable.
+	pivot := region.Pivot()
+	top, err := ds.TopK(pivot, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	focal := top[len(top)-1]
+	fmt.Printf("Focal hotel #%d rates %v\n", focal, compact(ds.Record(focal)))
+
+	cells, err := ds.ReverseTopK(focal, region, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cells) == 0 {
+		fmt.Printf("Hotel #%d never reaches the top-%d for these profiles.\n", focal, k)
+		return
+	}
+	fmt.Printf("\nHotel #%d is in the top-%d in %d sub-regions of the profile space:\n",
+		focal, k, len(cells))
+	for i, c := range cells {
+		fmt.Printf("  region %d around profile %v: rank %d", i+1, compact(c.Interior), len(c.Above)+1)
+		if len(c.Above) > 0 {
+			fmt.Printf(" (behind hotels %v)", c.Above)
+		}
+		fmt.Println()
+		if i == 4 && len(cells) > 6 {
+			fmt.Printf("  ... and %d more regions\n", len(cells)-5)
+			break
+		}
+	}
+
+	// Contrast with a hotel that cannot compete.
+	weak := -1
+	for id := 0; id < ds.Len(); id++ {
+		rec := ds.Record(id)
+		sum := 0.0
+		for _, v := range rec {
+			sum += v
+		}
+		if sum < 12 { // clearly mediocre across the board
+			weak = id
+			break
+		}
+	}
+	if weak >= 0 {
+		cells, err := ds.ReverseTopK(weak, region, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nHotel #%d rates %v: top-%d in %d sub-regions — no profile in this range ranks it.\n",
+			weak, compact(ds.Record(weak)), k, len(cells))
+	}
+}
+
+func compact(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*100+0.5)) / 100
+	}
+	return out
+}

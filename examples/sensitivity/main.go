@@ -1,0 +1,75 @@
+// Command sensitivity uses UTK as a sensitivity-analysis tool (the paper's
+// second motivating use: "how stable is my top-k under weight
+// perturbation?"). Starting from an exact weight vector, it grows the
+// uncertainty region step by step and reports when the top-k first changes
+// and how quickly the set of possible results inflates — the practical
+// answer to "could a 0.01 nudge of a weight alter my ranking?".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// Anticorrelated data: the adversarial case where rankings are most
+	// sensitive to the weights (every record trades one criterion against
+	// the others).
+	records := dataset.Synthetic(dataset.ANTI, 20000, 4, 7)
+	ds, err := utk.NewDataset(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 5
+	center := []float64{0.25, 0.25, 0.25} // implicit fourth weight: 0.25
+	base, err := ds.TopK(center, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Exact top-%d at w = (0.25, 0.25, 0.25, 0.25): %v\n\n", k, base)
+	fmt.Println("Growing the uncertainty around the weights:")
+	fmt.Printf("%-10s %-12s %-14s %-12s\n", "±radius", "candidates", "possible recs", "top-k sets")
+
+	baseSet := map[int]bool{}
+	for _, id := range base {
+		baseSet[id] = true
+	}
+	firstChange := -1.0
+	for _, radius := range []float64{0.002, 0.005, 0.01, 0.02} {
+		lo := make([]float64, len(center))
+		hi := make([]float64, len(center))
+		for i, c := range center {
+			lo[i] = c - radius
+			hi[i] = c + radius
+		}
+		region, err := utk.NewBoxRegion(lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res2, err := ds.UTK2(utk.Query{K: k, Region: region})
+		if err != nil {
+			log.Fatal(err)
+		}
+		possible := map[int]bool{}
+		for _, c := range res2.Cells {
+			for _, id := range c.TopK {
+				possible[id] = true
+			}
+		}
+		fmt.Printf("%-10.3f %-12d %-14d %-12d\n",
+			radius, res2.Stats.Candidates, len(possible), res2.Stats.UniqueTopKSets)
+		if firstChange < 0 && (len(possible) != len(baseSet) || res2.Stats.UniqueTopKSets > 1) {
+			firstChange = radius
+		}
+	}
+	if firstChange >= 0 {
+		fmt.Printf("\nThe top-%d first becomes ambiguous at a perturbation of ±%.3f —\n", k, firstChange)
+		fmt.Println("any weight estimate coarser than that cannot pin down a unique answer.")
+	} else {
+		fmt.Printf("\nThe top-%d is stable across all tested perturbations.\n", k)
+	}
+}

@@ -1,0 +1,226 @@
+package arrangement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func boxHS(lo, hi []float64) []geom.Halfspace {
+	var hs []geom.Halfspace
+	for i := range lo {
+		a := make([]float64, len(lo))
+		a[i] = 1
+		hs = append(hs, geom.Halfspace{A: a, B: lo[i]})
+		b := make([]float64, len(lo))
+		b[i] = -1
+		hs = append(hs, geom.Halfspace{A: b, B: -hi[i]})
+	}
+	return hs
+}
+
+func TestNewSingleCell(t *testing.T) {
+	a, err := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.4, 0.4}), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells()) != 1 {
+		t.Fatalf("want 1 initial cell, got %d", len(a.Cells()))
+	}
+	c := a.Cells()[0]
+	if c.Count() != 0 {
+		t.Fatalf("initial count = %d", c.Count())
+	}
+	if c.Interior() == nil {
+		t.Fatal("initial cell must carry an interior point")
+	}
+}
+
+func TestNewEmptyRegion(t *testing.T) {
+	hs := []geom.Halfspace{
+		{A: []float64{1, 0}, B: 0.5},
+		{A: []float64{-1, 0}, B: -0.4},
+	}
+	if _, err := New(2, hs, 4, nil); err == nil {
+		t.Fatal("empty base region should fail")
+	}
+}
+
+func TestInsertSplit(t *testing.T) {
+	a, _ := New(2, boxHS([]float64{0, 0}, []float64{0.4, 0.4}), 8, nil)
+	// w1 ≥ 0.2 cuts the box in two.
+	a.Insert(0, geom.Halfspace{A: []float64{1, 0}, B: 0.2})
+	cells := a.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(cells))
+	}
+	counts := map[int]int{}
+	for _, c := range cells {
+		counts[c.Count()]++
+		in := c.Interior()
+		wantCovered := in[0] >= 0.2
+		if wantCovered != (c.Count() == 1) {
+			t.Fatalf("cell at %v has count %d", in, c.Count())
+		}
+		if wantCovered != c.Covering().Has(0) {
+			t.Fatal("covering set inconsistent with count")
+		}
+	}
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("count histogram = %v", counts)
+	}
+}
+
+func TestInsertCoversAndMisses(t *testing.T) {
+	a, _ := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.3, 0.3}), 8, nil)
+	a.Insert(0, geom.Halfspace{A: []float64{1, 0}, B: 0.0})  // covers whole box
+	a.Insert(1, geom.Halfspace{A: []float64{1, 0}, B: 0.9})  // misses whole box
+	a.Insert(2, geom.Halfspace{A: []float64{-1, 0}, B: -.3}) // touches at boundary: covers
+	cells := a.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("no split expected, got %d cells", len(cells))
+	}
+	c := cells[0]
+	if c.Count() != 2 || !c.Covering().Has(0) || c.Covering().Has(1) || !c.Covering().Has(2) {
+		t.Fatalf("count = %d covering = %v", c.Count(), c.Covering().Indices())
+	}
+}
+
+func TestInsertTangentNoSplit(t *testing.T) {
+	a, _ := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.3, 0.3}), 8, nil)
+	// Hyperplane w1 = 0.1 touches the box face: no full-dimensional split.
+	a.Insert(0, geom.Halfspace{A: []float64{1, 0}, B: 0.1})
+	if len(a.Cells()) != 1 {
+		t.Fatalf("tangent insert must not split, got %d cells", len(a.Cells()))
+	}
+	if a.Cells()[0].Count() != 1 {
+		t.Fatalf("tangent covering count = %d, want 1", a.Cells()[0].Count())
+	}
+}
+
+func TestTrivialHalfspaces(t *testing.T) {
+	a, _ := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.3, 0.3}), 8, nil)
+	a.Insert(0, geom.Halfspace{A: []float64{0, 0}, B: -1}) // always true
+	a.Insert(1, geom.Halfspace{A: []float64{0, 0}, B: 1})  // always false
+	c := a.Cells()[0]
+	if c.Count() != 1 || !c.Covering().Has(0) || c.Covering().Has(1) {
+		t.Fatalf("trivial half-space handling wrong: count=%d", c.Count())
+	}
+}
+
+// TestCountsAgainstSampling inserts random half-spaces and validates every
+// cell's count and covering set at its interior point, plus the partition
+// property at random sample points.
+func TestCountsAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		dim := 1 + rng.Intn(3)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := range lo {
+			lo[i] = 0.05 + rng.Float64()*0.1
+			hi[i] = lo[i] + 0.1 + rng.Float64()*0.2/float64(dim)
+		}
+		nHS := 6
+		a, err := New(dim, boxHS(lo, hi), nHS, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inserted []geom.Halfspace
+		for id := 0; id < nHS; id++ {
+			h := geom.Halfspace{A: make([]float64, dim)}
+			for i := range h.A {
+				h.A[i] = rng.NormFloat64()
+			}
+			mid := make([]float64, dim)
+			for i := range mid {
+				mid[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			h.B = h.Eval(mid) + h.B // set B so the boundary passes near mid
+			h.B = 0
+			for i := range h.A {
+				h.B += h.A[i] * mid[i]
+			}
+			inserted = append(inserted, h)
+			a.Insert(id, h)
+		}
+		// Validate each cell at its interior point.
+		for _, c := range a.Cells() {
+			in := c.Interior()
+			cnt := 0
+			for id, h := range inserted {
+				if h.Eval(in) > 0 {
+					cnt++
+					if !c.Covering().Has(id) {
+						t.Fatalf("trial %d: covering set missing half-space %d", trial, id)
+					}
+				} else if c.Covering().Has(id) {
+					t.Fatalf("trial %d: covering set wrongly includes %d (eval=%g)", trial, id, h.Eval(in))
+				}
+			}
+			if cnt != c.Count() {
+				t.Fatalf("trial %d: cell count %d but %d half-spaces contain interior", trial, c.Count(), cnt)
+			}
+		}
+		// Partition property: each sample point lies in exactly one cell
+		// (up to boundary tolerance).
+		for s := 0; s < 200; s++ {
+			w := make([]float64, dim)
+			for i := range w {
+				w[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			// Skip points near any inserted boundary.
+			nearBoundary := false
+			for _, h := range inserted {
+				if e := h.Eval(w); e > -1e-6 && e < 1e-6 {
+					nearBoundary = true
+					break
+				}
+			}
+			if nearBoundary {
+				continue
+			}
+			hits := 0
+			for _, c := range a.Cells() {
+				insideAll := true
+				for _, h := range c.Constraints() {
+					if h.Eval(w) < -1e-7 {
+						insideAll = false
+						break
+					}
+				}
+				if insideAll {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("trial %d: sample point hit %d cells, want 1", trial, hits)
+			}
+		}
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	a, _ := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.3, 0.3}), 8, nil)
+	if a.MinCount() != 0 {
+		t.Fatalf("initial MinCount = %d", a.MinCount())
+	}
+	a.Insert(0, geom.Halfspace{A: []float64{1, 0}, B: 0.0}) // covers all
+	if a.MinCount() != 1 {
+		t.Fatalf("MinCount after full cover = %d", a.MinCount())
+	}
+	a.Insert(1, geom.Halfspace{A: []float64{1, 0}, B: 0.2}) // splits
+	if a.MinCount() != 1 {
+		t.Fatalf("MinCount after split = %d", a.MinCount())
+	}
+}
+
+func TestStatsTracked(t *testing.T) {
+	st := &Stats{}
+	a, _ := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.3, 0.3}), 8, st)
+	a.Insert(0, geom.Halfspace{A: []float64{1, 0}, B: 0.2})
+	if st.LPCalls == 0 || st.CellSplits != 1 || st.PeakCells != 2 || st.PeakBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

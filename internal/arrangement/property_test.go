@@ -1,0 +1,137 @@
+package arrangement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestCountMonotoneProperty: inserting half-spaces can only grow every
+// cell's count, and the minimum count never decreases.
+func TestCountMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(3)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := range lo {
+			lo[i] = 0.1
+			hi[i] = 0.1 + 0.2/float64(dim)
+		}
+		a, err := New(dim, boxHS(lo, hi), 8, nil)
+		if err != nil {
+			return false
+		}
+		prevMin := a.MinCount()
+		for id := 0; id < 6; id++ {
+			h := geom.Halfspace{A: make([]float64, dim)}
+			for i := range h.A {
+				h.A[i] = rng.NormFloat64()
+			}
+			mid := make([]float64, dim)
+			for i := range mid {
+				mid[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			for i := range h.A {
+				h.B += h.A[i] * mid[i]
+			}
+			a.Insert(id, h)
+			if mn := a.MinCount(); mn < prevMin {
+				return false
+			} else {
+				prevMin = mn
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountEqualsCoveringProperty: in every cell, Count() equals the
+// cardinality of the covering set, and the covering set only references
+// inserted ids.
+func TestCountEqualsCoveringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(2)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := range lo {
+			lo[i] = 0.2
+			hi[i] = 0.4
+		}
+		nHS := 5
+		a, err := New(dim, boxHS(lo, hi), nHS, nil)
+		if err != nil {
+			return false
+		}
+		for id := 0; id < nHS; id++ {
+			h := geom.Halfspace{A: make([]float64, dim), B: rng.NormFloat64() * 0.2}
+			for i := range h.A {
+				h.A[i] = rng.NormFloat64()
+			}
+			a.Insert(id, h)
+		}
+		for _, c := range a.Cells() {
+			if c.Count() != c.Covering().Count() {
+				return false
+			}
+			bad := false
+			c.Covering().ForEach(func(id int) bool {
+				if id >= nHS {
+					bad = true
+					return false
+				}
+				return true
+			})
+			if bad {
+				return false
+			}
+			// The interior point must satisfy every cell constraint.
+			for _, h := range c.Constraints() {
+				if h.Eval(c.Interior()) < -1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInteriorReuseKeepsSlack: after deep chains of splits, every cell's
+// interior point keeps a positive normalized slack against all constraints
+// (the parent-interior reuse must not degrade below the tolerance).
+func TestInteriorReuseKeepsSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, err := New(2, boxHS([]float64{0.1, 0.1}, []float64{0.5, 0.5}), 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 12; id++ {
+		h := geom.Halfspace{A: []float64{rng.NormFloat64(), rng.NormFloat64()}}
+		h.B = h.A[0]*(0.1+rng.Float64()*0.4) + h.A[1]*(0.1+rng.Float64()*0.4)
+		a.Insert(id, h)
+	}
+	for _, c := range a.Cells() {
+		in := c.Interior()
+		for _, h := range c.Constraints() {
+			norm := 0.0
+			for _, v := range h.A {
+				norm += v * v
+			}
+			if norm == 0 {
+				continue
+			}
+			if h.Eval(in) <= 0 {
+				t.Fatalf("interior point has non-positive slack %g", h.Eval(in))
+			}
+		}
+	}
+}

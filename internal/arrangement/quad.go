@@ -1,0 +1,260 @@
+package arrangement
+
+import (
+	"errors"
+
+	"repro/internal/bitset"
+	"repro/internal/geom"
+)
+
+// QuadIndex is the space-partitioning alternative for arrangement
+// maintenance that Section 4.5 contrasts with the binary split tree (the
+// approach of [50, 35]): the region — a box in the preference domain — is
+// subdivided into quads, each half-space is distributed down the quad tree
+// with O(d) box classification (no LPs), and only quads still straddled by
+// several half-spaces at the depth limit fall back to a small embedded
+// binary-tree arrangement for exact resolution.
+//
+// The library uses the binary tree by default, as the paper does; the quad
+// index exists for the design-choice ablation (BenchmarkQuadVsBinary) and
+// as an exact alternative that trades LP calls for spatial subdivision.
+type QuadIndex struct {
+	dim      int
+	capacity int
+	maxDepth int
+	root     *quadNode
+	stats    *Stats
+}
+
+// quadLeafFanout is the number of straddling half-spaces a quad tolerates
+// before subdividing (until maxDepth).
+const quadLeafFanout = 3
+
+type quadNode struct {
+	lo, hi []float64
+	// covering holds the ids of half-spaces that fully cover this quad but
+	// not the parent (counted once on the path).
+	covering []int
+	// straddling holds half-spaces whose boundary crosses the quad; only
+	// leaves keep them.
+	straddling []geom.Halfspace
+	strIDs     []int
+	children   []*quadNode
+	depth      int
+}
+
+// NewQuad builds a quad index over the box [lo, hi]. capacity bounds the
+// half-space ids; maxDepth caps subdivision (8 is plenty for the paper's
+// region sizes). stats may be nil.
+func NewQuad(lo, hi []float64, capacity, maxDepth int, stats *Stats) (*QuadIndex, error) {
+	if len(lo) == 0 || len(lo) != len(hi) {
+		return nil, errors.New("arrangement: quad index needs matching box corners")
+	}
+	for i := range lo {
+		if hi[i]-lo[i] < geom.Eps {
+			return nil, ErrEmptyCell
+		}
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	return &QuadIndex{
+		dim:      len(lo),
+		capacity: capacity,
+		maxDepth: maxDepth,
+		root: &quadNode{
+			lo: append([]float64(nil), lo...),
+			hi: append([]float64(nil), hi...),
+		},
+		stats: stats,
+	}, nil
+}
+
+// Insert distributes the half-space down the quad tree.
+func (q *QuadIndex) Insert(id int, h geom.Halfspace) {
+	if h.IsTrivial() {
+		if h.B <= geom.Eps {
+			q.root.covering = append(q.root.covering, id)
+		}
+		return
+	}
+	q.insert(q.root, id, h)
+}
+
+func (q *QuadIndex) insert(n *quadNode, id int, h geom.Halfspace) {
+	mn, mx := boxExtremesQuad(h, n.lo, n.hi)
+	switch {
+	case mn >= -classEps:
+		n.covering = append(n.covering, id)
+		return
+	case mx <= classEps:
+		return
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			q.insert(c, id, h)
+		}
+		return
+	}
+	n.straddling = append(n.straddling, h)
+	n.strIDs = append(n.strIDs, id)
+	if len(n.straddling) > quadLeafFanout && n.depth < q.maxDepth {
+		q.subdivide(n)
+	}
+}
+
+// subdivide splits a leaf into 2^dim children and redistributes its
+// straddling half-spaces.
+func (q *QuadIndex) subdivide(n *quadNode) {
+	dim := q.dim
+	mid := make([]float64, dim)
+	for i := range mid {
+		mid[i] = (n.lo[i] + n.hi[i]) / 2
+	}
+	n.children = make([]*quadNode, 0, 1<<dim)
+	for mask := 0; mask < 1<<dim; mask++ {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			if mask&(1<<i) != 0 {
+				lo[i], hi[i] = mid[i], n.hi[i]
+			} else {
+				lo[i], hi[i] = n.lo[i], mid[i]
+			}
+		}
+		n.children = append(n.children, &quadNode{lo: lo, hi: hi, depth: n.depth + 1})
+	}
+	straddling, ids := n.straddling, n.strIDs
+	n.straddling, n.strIDs = nil, nil
+	for i, h := range straddling {
+		q.insert(n, ids[i], h)
+	}
+	q.stats.CellSplits++
+}
+
+// MinCount returns the minimum, over all points of the region, of the
+// number of inserted half-spaces containing the point. Quads fully resolved
+// by covering counts answer directly; quads with residual straddling
+// half-spaces are resolved exactly with an embedded binary arrangement.
+func (q *QuadIndex) MinCount() int {
+	return q.minCount(q.root, 0)
+}
+
+func (q *QuadIndex) minCount(n *quadNode, base int) int {
+	base += len(n.covering)
+	if n.children != nil {
+		best := -1
+		for _, c := range n.children {
+			if v := q.minCount(c, base); best < 0 || v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	if len(n.straddling) == 0 {
+		return base
+	}
+	// Exact residual resolution on the leaf's own box.
+	arr, err := New(q.dim, boxHalfspaces(n.lo, n.hi), q.capacity, q.stats)
+	if err != nil {
+		return base
+	}
+	for i, h := range n.straddling {
+		arr.Insert(n.strIDs[i], h)
+	}
+	best := -1
+	for _, c := range arr.Cells() {
+		if best < 0 || c.Count() < best {
+			best = c.Count()
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return base + best
+}
+
+// CellBelow locates a witness point whose coverage count is strictly below
+// the threshold, together with the ids of the half-spaces covering it.
+// ok=false means every point of the region is covered by at least threshold
+// half-spaces.
+func (q *QuadIndex) CellBelow(threshold int) (point []float64, covering bitset.Set, ok bool) {
+	return q.cellBelow(q.root, nil, threshold)
+}
+
+func (q *QuadIndex) cellBelow(n *quadNode, pathCovering []int, threshold int) ([]float64, bitset.Set, bool) {
+	pathCovering = append(pathCovering, n.covering...)
+	if len(pathCovering) >= threshold {
+		return nil, bitset.Set{}, false
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			if pt, cov, ok := q.cellBelow(c, pathCovering, threshold); ok {
+				return pt, cov, ok
+			}
+		}
+		return nil, bitset.Set{}, false
+	}
+	mkSet := func(extra bitset.Set) bitset.Set {
+		s := bitset.New(q.capacity)
+		for _, id := range pathCovering {
+			s.Set(id)
+		}
+		if extra.Len() > 0 {
+			s.Or(extra)
+		}
+		return s
+	}
+	if len(n.straddling) == 0 {
+		mid := make([]float64, q.dim)
+		for i := range mid {
+			mid[i] = (n.lo[i] + n.hi[i]) / 2
+		}
+		return mid, mkSet(bitset.Set{}), true
+	}
+	arr, err := New(q.dim, boxHalfspaces(n.lo, n.hi), q.capacity, q.stats)
+	if err != nil {
+		return nil, bitset.Set{}, false
+	}
+	for i, h := range n.straddling {
+		arr.Insert(n.strIDs[i], h)
+	}
+	for _, c := range arr.Cells() {
+		if len(pathCovering)+c.Count() < threshold {
+			return c.Interior(), mkSet(c.Covering()), true
+		}
+	}
+	return nil, bitset.Set{}, false
+}
+
+// boxExtremesQuad mirrors geom's box fast path for a raw box.
+func boxExtremesQuad(h geom.Halfspace, lo, hi []float64) (mn, mx float64) {
+	mn, mx = -h.B, -h.B
+	for i, a := range h.A {
+		if a >= 0 {
+			mn += a * lo[i]
+			mx += a * hi[i]
+		} else {
+			mn += a * hi[i]
+			mx += a * lo[i]
+		}
+	}
+	return mn, mx
+}
+
+// boxHalfspaces builds the H-representation of a box.
+func boxHalfspaces(lo, hi []float64) []geom.Halfspace {
+	out := make([]geom.Halfspace, 0, 2*len(lo))
+	for i := range lo {
+		a := make([]float64, len(lo))
+		a[i] = 1
+		out = append(out, geom.Halfspace{A: a, B: lo[i]})
+		b := make([]float64, len(lo))
+		b[i] = -1
+		out = append(out, geom.Halfspace{A: b, B: -hi[i]})
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package arrangement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestQuadBasics(t *testing.T) {
+	q, err := NewQuad([]float64{0.1, 0.1}, []float64{0.4, 0.4}, 8, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MinCount() != 0 {
+		t.Fatalf("empty index MinCount = %d", q.MinCount())
+	}
+	q.Insert(0, geom.Halfspace{A: []float64{1, 0}, B: 0.0}) // covers box
+	if q.MinCount() != 1 {
+		t.Fatalf("MinCount after full cover = %d", q.MinCount())
+	}
+	q.Insert(1, geom.Halfspace{A: []float64{1, 0}, B: 0.9}) // misses box
+	if q.MinCount() != 1 {
+		t.Fatalf("MinCount after miss = %d", q.MinCount())
+	}
+	q.Insert(2, geom.Halfspace{A: []float64{1, 0}, B: 0.25}) // splits
+	if q.MinCount() != 1 {
+		t.Fatalf("MinCount after split = %d", q.MinCount())
+	}
+	pt, cov, ok := q.CellBelow(2)
+	if !ok {
+		t.Fatal("a cell below threshold 2 must exist")
+	}
+	if pt[0] >= 0.25 {
+		t.Fatalf("witness %v should be on the uncovered side of w1 ≥ 0.25", pt)
+	}
+	if !cov.Has(0) || cov.Has(1) || cov.Has(2) {
+		t.Fatalf("covering set wrong: %v", cov.Indices())
+	}
+	if _, _, ok := q.CellBelow(1); ok {
+		t.Fatal("everything is covered at least once")
+	}
+}
+
+func TestQuadTrivialHalfspaces(t *testing.T) {
+	q, err := NewQuad([]float64{0.1}, []float64{0.2}, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Insert(0, geom.Halfspace{A: []float64{0}, B: -1}) // always true
+	q.Insert(1, geom.Halfspace{A: []float64{0}, B: 1})  // always false
+	if q.MinCount() != 1 {
+		t.Fatalf("MinCount = %d, want 1", q.MinCount())
+	}
+}
+
+func TestQuadValidation(t *testing.T) {
+	if _, err := NewQuad(nil, nil, 4, 4, nil); err == nil {
+		t.Fatal("empty corners should fail")
+	}
+	if _, err := NewQuad([]float64{0.2}, []float64{0.2}, 4, 4, nil); err == nil {
+		t.Fatal("degenerate box should fail")
+	}
+}
+
+// TestQuadMatchesBinary inserts identical random half-space sets into the
+// quad index and the binary arrangement and compares the exact minimum
+// coverage counts and threshold queries.
+func TestQuadMatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 40; trial++ {
+		dim := 1 + rng.Intn(3)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := range lo {
+			lo[i] = 0.05 + rng.Float64()*0.1
+			hi[i] = lo[i] + 0.1 + rng.Float64()*0.2/float64(dim)
+		}
+		nHS := 2 + rng.Intn(8)
+		quad, err := NewQuad(lo, hi, nHS, 5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := New(dim, boxHalfspaces(lo, hi), nHS, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inserted []geom.Halfspace
+		for id := 0; id < nHS; id++ {
+			h := geom.Halfspace{A: make([]float64, dim)}
+			for i := range h.A {
+				h.A[i] = rng.NormFloat64()
+			}
+			mid := make([]float64, dim)
+			for i := range mid {
+				mid[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			for i := range h.A {
+				h.B += h.A[i] * mid[i]
+			}
+			// Shift some boundaries off the box to exercise cover/miss paths.
+			if rng.Intn(3) == 0 {
+				h.B += rng.NormFloat64() * 0.3
+			}
+			quad.Insert(id, h)
+			bin.Insert(id, h)
+			inserted = append(inserted, h)
+		}
+		if qm, bm := quad.MinCount(), bin.MinCount(); qm != bm {
+			t.Fatalf("trial %d: quad MinCount %d != binary %d", trial, qm, bm)
+		}
+		for threshold := 1; threshold <= nHS; threshold++ {
+			pt, cov, ok := quad.CellBelow(threshold)
+			binOK := bin.MinCount() < threshold
+			if ok != binOK {
+				t.Fatalf("trial %d threshold %d: quad %v, binary %v", trial, threshold, ok, binOK)
+			}
+			if !ok {
+				continue
+			}
+			// The witness must actually be covered by exactly the reported
+			// half-spaces and fewer than threshold of them.
+			cnt := 0
+			for id, h := range inserted {
+				if h.Eval(pt) > 0 {
+					cnt++
+					if !cov.Has(id) {
+						t.Fatalf("trial %d: covering set misses %d at %v", trial, id, pt)
+					}
+				}
+			}
+			if cnt >= threshold {
+				t.Fatalf("trial %d: witness %v covered %d ≥ %d times", trial, pt, cnt, threshold)
+			}
+		}
+	}
+}

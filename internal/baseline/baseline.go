@@ -1,0 +1,188 @@
+// Package baseline implements the paper's two baseline UTK algorithms
+// (Section 3.3): SK filters candidates with the traditional k-skyband, ON
+// with the first k onion layers (computed off the k-skyband, as the paper
+// prescribes); both then verify each candidate with a constrained
+// monochromatic reverse top-k query (the kSPR building block), with early
+// exit for UTK1. They exist to reproduce the comparison figures; RSA and JAA
+// outperform them by design.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/arrangement"
+	"repro/internal/geom"
+	"repro/internal/hull"
+	"repro/internal/kspr"
+	"repro/internal/rtree"
+	"repro/internal/skyband"
+)
+
+// Filter selects the baseline's filtering step.
+type Filter int
+
+const (
+	// SK filters with the traditional k-skyband.
+	SK Filter = iota
+	// ON filters with the first k onion layers.
+	ON
+)
+
+func (f Filter) String() string {
+	switch f {
+	case SK:
+		return "SK"
+	case ON:
+		return "ON"
+	}
+	return fmt.Sprintf("Filter(%d)", int(f))
+}
+
+// Stats reports the baseline's work.
+type Stats struct {
+	Candidates     int
+	FilterDuration time.Duration
+	RefineDuration time.Duration
+	KSPRCalls      int
+	Arrangement    arrangement.Stats
+}
+
+// CandidateCells is the UTK2 baseline output for one qualifying record: the
+// sub-regions of R where it belongs to the top-k set. (The baseline's UTK2
+// output has a different but semantically equivalent form to JAA's, as the
+// paper notes.)
+type CandidateCells struct {
+	ID    int
+	Cells []kspr.Cell
+}
+
+var errEmpty = errors.New("baseline: empty dataset")
+
+// Candidates is the output of a baseline filtering step. It does not depend
+// on the query region, so it can be computed once per (dataset, k, filter)
+// and reused across queries — the benchmark harness relies on this.
+type Candidates struct {
+	IDs  []int
+	Recs [][]float64
+}
+
+// FilterOnly runs the selected filtering step and returns the candidates.
+func FilterOnly(t *rtree.Tree, data [][]float64, k int, f Filter) Candidates {
+	sky := skyband.KSkyband(t, k)
+	ids := sky
+	if f == ON {
+		recs := make([][]float64, len(sky))
+		for i, id := range sky {
+			recs[i] = data[id]
+		}
+		layers := hull.OnionLayers(recs, k)
+		ids = nil
+		for _, idx := range hull.Flatten(layers) {
+			ids = append(ids, sky[idx])
+		}
+	}
+	sort.Ints(ids)
+	recs := make([][]float64, len(ids))
+	for i, id := range ids {
+		recs[i] = data[id]
+	}
+	return Candidates{IDs: ids, Recs: recs}
+}
+
+// UTK1 answers the UTK1 query with the baseline pipeline.
+func UTK1(t *rtree.Tree, data [][]float64, r *geom.Region, k int, f Filter) ([]int, *Stats, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, nil, errEmpty
+	}
+	st := &Stats{}
+	start := time.Now()
+	cands := FilterOnly(t, data, k, f)
+	st.FilterDuration = time.Since(start)
+	ids, err := UTK1From(cands, r, k, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ids, st, nil
+}
+
+// UTK1From runs the verification step over precomputed candidates; st may be
+// nil.
+func UTK1From(c Candidates, r *geom.Region, k int, st *Stats) ([]int, error) {
+	if st == nil {
+		st = &Stats{}
+	}
+	st.Candidates = len(c.IDs)
+	start := time.Now()
+	defer func() { st.RefineDuration = time.Since(start) }()
+	var out []int
+	for i, id := range c.IDs {
+		comp, compIDs := excludeIndex(c.Recs, c.IDs, i)
+		st.KSPRCalls++
+		res, err := kspr.ReverseTopK(c.Recs[i], id, comp, compIDs, r, k, true, &st.Arrangement)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Cells) > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// UTK2 answers the UTK2 query with the baseline pipeline: for every
+// qualifying candidate, all sub-regions of R where it is in the top-k set.
+func UTK2(t *rtree.Tree, data [][]float64, r *geom.Region, k int, f Filter) ([]CandidateCells, *Stats, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, nil, errEmpty
+	}
+	st := &Stats{}
+	start := time.Now()
+	cands := FilterOnly(t, data, k, f)
+	st.FilterDuration = time.Since(start)
+	cells, err := UTK2From(cands, r, k, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cells, st, nil
+}
+
+// UTK2From runs the full (no early exit) verification over precomputed
+// candidates; st may be nil.
+func UTK2From(c Candidates, r *geom.Region, k int, st *Stats) ([]CandidateCells, error) {
+	if st == nil {
+		st = &Stats{}
+	}
+	st.Candidates = len(c.IDs)
+	start := time.Now()
+	defer func() { st.RefineDuration = time.Since(start) }()
+	var out []CandidateCells
+	for i, id := range c.IDs {
+		comp, compIDs := excludeIndex(c.Recs, c.IDs, i)
+		st.KSPRCalls++
+		res, err := kspr.ReverseTopK(c.Recs[i], id, comp, compIDs, r, k, false, &st.Arrangement)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Cells) > 0 {
+			out = append(out, CandidateCells{ID: id, Cells: res.Cells})
+		}
+	}
+	return out, nil
+}
+
+// excludeIndex returns the record and id slices with index i removed.
+func excludeIndex(recs [][]float64, ids []int, i int) ([][]float64, []int) {
+	comp := make([][]float64, 0, len(recs)-1)
+	compIDs := make([]int, 0, len(ids)-1)
+	for j := range recs {
+		if j != i {
+			comp = append(comp, recs[j])
+			compIDs = append(compIDs, ids[j])
+		}
+	}
+	return comp, compIDs
+}

@@ -1,0 +1,201 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/rtree"
+)
+
+func mustBox(t *testing.T, lo, hi []float64) *geom.Region {
+	t.Helper()
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func randomData(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBaselinesMatchRSAAndOracle is the main three-way agreement test: SK,
+// ON, RSA, and the exact oracle must produce identical UTK1 results.
+func TestBaselinesMatchRSAAndOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 12; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 12 + rng.Intn(8)
+		data := randomData(rng, n, d)
+		lo := make([]float64, d-1)
+		hi := make([]float64, d-1)
+		for i := range lo {
+			lo[i] = 0.05 + rng.Float64()*0.2
+			hi[i] = lo[i] + 0.1 + rng.Float64()*0.2/float64(d-1)
+		}
+		r, err := geom.NewBox(lo, hi)
+		if err != nil {
+			continue
+		}
+		k := 1 + rng.Intn(3)
+		tree, err := rtree.BulkLoad(data, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracle.UTK1(data, r, k)
+		sk, skStats, err := UTK1(tree, data, r, k, SK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, onStats, err := UTK1(tree, data, r, k, ON)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsa, _, err := core.RSA(tree, r, k, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(rsa)
+		if !equalInts(sk, want) {
+			t.Fatalf("trial %d d=%d k=%d: SK %v != oracle %v", trial, d, k, sk, want)
+		}
+		if !equalInts(on, want) {
+			t.Fatalf("trial %d d=%d k=%d: ON %v != oracle %v", trial, d, k, on, want)
+		}
+		if !equalInts(rsa, want) {
+			t.Fatalf("trial %d d=%d k=%d: RSA %v != oracle %v", trial, d, k, rsa, want)
+		}
+		// ON's filter is at least as tight as SK's.
+		if onStats.Candidates > skStats.Candidates {
+			t.Fatalf("trial %d: ON candidates %d > SK candidates %d",
+				trial, onStats.Candidates, skStats.Candidates)
+		}
+	}
+}
+
+// TestUTK2BaselineAgreesWithJAA compares the baseline's per-candidate cells
+// with JAA's global partitioning at sampled weight vectors.
+func TestUTK2BaselineAgreesWithJAA(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 6; trial++ {
+		d := 2 + rng.Intn(2)
+		data := randomData(rng, 12, d)
+		lo := make([]float64, d-1)
+		hi := make([]float64, d-1)
+		for i := range lo {
+			lo[i] = 0.15
+			hi[i] = 0.15 + 0.3/float64(d-1)
+		}
+		r := mustBox(t, lo, hi)
+		k := 1 + rng.Intn(2)
+		tree, err := rtree.BulkLoad(data, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, _, err := UTK2(tree, data, r, k, SK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jaa, _, err := core.JAA(tree, r, k, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range oracle.SamplePoints(r, 120, rng) {
+			// Reconstruct the top-k set at w from the baseline output.
+			var fromBL []int
+			for _, cc := range bl {
+				for _, c := range cc.Cells {
+					inside := true
+					for _, h := range c.Constraints {
+						if h.Eval(w) < -1e-7 {
+							inside = false
+							break
+						}
+					}
+					if inside {
+						fromBL = append(fromBL, cc.ID)
+						break
+					}
+				}
+			}
+			sort.Ints(fromBL)
+			want := oracle.TopKAt(data, w, k)
+			// Skip samples near a ranking boundary, where set membership is
+			// ambiguous at tolerance scale.
+			if nearAnyTie(data, w) {
+				continue
+			}
+			if !equalInts(fromBL, want) {
+				t.Fatalf("trial %d: baseline set %v != brute force %v at %v", trial, fromBL, want, w)
+			}
+			// JAA must agree at the same point.
+			for _, c := range jaa {
+				inside := true
+				strict := true
+				for _, h := range c.Constraints {
+					e := h.Eval(w)
+					if e < -1e-7 {
+						inside = false
+						break
+					}
+					if e < 1e-7 {
+						strict = false
+					}
+				}
+				if inside && strict && !equalInts(c.TopK, want) {
+					t.Fatalf("trial %d: JAA set %v != brute force %v at %v", trial, c.TopK, want, w)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineEmptyDataset(t *testing.T) {
+	r := mustBox(t, []float64{0.2}, []float64{0.4})
+	if _, _, err := UTK1(nil, nil, r, 2, SK); err == nil {
+		t.Fatal("nil tree should fail")
+	}
+	if _, _, err := UTK2(nil, nil, r, 2, ON); err == nil {
+		t.Fatal("nil tree should fail for UTK2")
+	}
+}
+
+func nearAnyTie(data [][]float64, w []float64) bool {
+	scores := make([]float64, len(data))
+	for i, p := range data {
+		scores[i] = geom.Score(p, w)
+	}
+	for i := range scores {
+		for j := i + 1; j < len(scores); j++ {
+			if diff := scores[i] - scores[j]; diff > -1e-6 && diff < 1e-6 {
+				return true
+			}
+		}
+	}
+	return false
+}

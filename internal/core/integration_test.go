@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/skyband"
+)
+
+// TestMidScaleInvariants runs the full pipeline at a scale where the R-tree,
+// BBS, graph, and recursion all do real work, and checks the cross-module
+// invariants that must hold regardless of timing: UTK1 ⊆ r-skyband ⊆
+// k-skyband; pivot top-k ⊆ UTK1; UTK1 = union of UTK2 sets; every UTK2 cell
+// matches a brute-force probe at its interior point.
+func TestMidScaleInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-scale run")
+	}
+	for _, kind := range []dataset.Kind{dataset.IND, dataset.COR, dataset.ANTI} {
+		data := dataset.Synthetic(kind, 20000, 4, 5)
+		tree, err := rtree.BulkLoad(data, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := geom.NewBox([]float64{0.2, 0.2, 0.2}, []float64{0.23, 0.23, 0.23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 8
+		utk1, _, err := RSA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsb := skyband.RSkyband(tree, r, k)
+		ksb := skyband.KSkyband(tree, k)
+		inR := toSet(rsb)
+		inK := toSet(ksb)
+		for _, id := range utk1 {
+			if !inR[id] {
+				t.Fatalf("%v: UTK1 record %d outside r-skyband", kind, id)
+			}
+		}
+		for _, id := range rsb {
+			if !inK[id] {
+				t.Fatalf("%v: r-skyband record %d outside k-skyband", kind, id)
+			}
+		}
+		// The top-k at the pivot must be a subset of UTK1 (the pivot lies in
+		// R, so those records have a witness).
+		pivot := r.Pivot()
+		inU := toSet(utk1)
+		type scored struct {
+			id int
+			v  float64
+		}
+		best := make([]scored, 0, len(data))
+		for i, p := range data {
+			best = append(best, scored{i, geom.Score(p, pivot)})
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[j].v > best[i].v {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+			if !inU[best[i].id] {
+				t.Fatalf("%v: pivot top-%d record %d missing from UTK1", kind, k, best[i].id)
+			}
+		}
+		// UTK2 cells agree with brute force and union to UTK1.
+		cells, _, err := JAA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := map[int]bool{}
+		for _, c := range cells {
+			probeIDs := topKBrute(data, c.Interior, k)
+			if len(probeIDs) != len(c.TopK) {
+				t.Fatalf("%v: cell size mismatch", kind)
+			}
+			for i := range probeIDs {
+				if probeIDs[i] != c.TopK[i] {
+					t.Fatalf("%v: cell at %v has %v, brute force %v", kind, c.Interior, c.TopK, probeIDs)
+				}
+			}
+			for _, id := range c.TopK {
+				union[id] = true
+			}
+		}
+		if len(union) != len(utk1) {
+			t.Fatalf("%v: UTK2 union %d records, UTK1 %d", kind, len(union), len(utk1))
+		}
+	}
+}
+
+// TestBaselineAgreementMidScale cross-checks RSA against the SK baseline on
+// a mid-size instance (the baselines share no refinement code with RSA).
+func TestBaselineAgreementMidScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-scale run")
+	}
+	data := dataset.Synthetic(dataset.IND, 10000, 3, 11)
+	tree, err := rtree.BulkLoad(data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := geom.NewBox([]float64{0.3, 0.3}, []float64{0.35, 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5, 10} {
+		rsa, _, err := RSA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, _, err := baseline.UTK1(tree, data, r, k, baseline.SK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rsa) != len(sk) {
+			t.Fatalf("k=%d: RSA %d records, SK %d", k, len(rsa), len(sk))
+		}
+		inSK := toSet(sk)
+		for _, id := range rsa {
+			if !inSK[id] {
+				t.Fatalf("k=%d: RSA record %d missing from SK result", k, id)
+			}
+		}
+	}
+}
+
+// TestDeterminism: identical inputs must give identical outputs across runs
+// (no map-iteration or timing dependence in results).
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	data := make([][]float64, 500)
+	for i := range data {
+		data[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	tree, err := rtree.BulkLoad(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := geom.NewBox([]float64{0.2, 0.2, 0.2}, []float64{0.3, 0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := RSA(tree, r, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells1, _, err := JAA(tree, r, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		again, _, err := RSA(tree, r, 5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatal("RSA result count varies across runs")
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatal("RSA result order varies across runs")
+			}
+		}
+		cells2, _, err := JAA(tree, r, 5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells2) != len(cells1) {
+			t.Fatal("JAA partition count varies across runs")
+		}
+	}
+}
+
+func toSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// topKBrute is a local brute-force probe (sorted ids), independent of the
+// oracle package to avoid an import cycle in coverage accounting.
+func topKBrute(data [][]float64, w []float64, k int) []int {
+	type scored struct {
+		id int
+		v  float64
+	}
+	all := make([]scored, len(data))
+	for i, p := range data {
+		all[i] = scored{i, geom.Score(p, w)}
+	}
+	for i := 0; i < k && i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].v > all[i].v+geom.Eps ||
+				(all[j].v > all[i].v-geom.Eps && all[j].id < all[i].id) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/arrangement"
+	"repro/internal/bitset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/skyband"
+)
+
+// CellResult is one partition of the UTK2 output: a convex cell of the query
+// region together with the exact top-k set (dataset ids, unordered) that
+// holds anywhere inside it.
+type CellResult struct {
+	// Constraints bound the cell: the query region's half-spaces plus one
+	// side per hyperplane on the cell's recursion path.
+	Constraints []geom.Halfspace
+	// Interior is a strictly interior point of the cell.
+	Interior []float64
+	// TopK are the dataset ids of the top-k set, sorted ascending.
+	TopK []int
+}
+
+// JAA answers the UTK2 query (Algorithm 3): it partitions r into cells, each
+// annotated with the exact top-k set holding throughout the cell.
+func JAA(t *rtree.Tree, r *geom.Region, k int, opts Options) ([]CellResult, *Stats, error) {
+	if err := checkQuery(t, r, k); err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+	start := time.Now()
+	g := skyband.BuildGraph(t, r, k)
+	st.FilterDuration = time.Since(start)
+	cells, err := JAAFromGraph(g, r, k, opts, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cells, st, nil
+}
+
+// jaaState carries the common global arrangement being assembled: the
+// finalized equal-to cells.
+type jaaState struct {
+	rf  *refiner
+	out []CellResult
+}
+
+// JAAFromGraph runs JAA's refinement over a prebuilt r-dominance graph.
+func JAAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats) ([]CellResult, error) {
+	if st == nil {
+		st = &Stats{}
+	}
+	start := time.Now()
+	defer func() {
+		st.RefineDuration = time.Since(start)
+		st.GraphBytes = g.Bytes()
+		if pb := st.GraphBytes + st.Arrangement.PeakBytes; pb > st.PeakBytes {
+			st.PeakBytes = pb
+		}
+	}()
+	n := g.Len()
+	st.Candidates = n
+	if n == 0 {
+		return nil, nil
+	}
+	rf := newRefiner(g, r, k, opts, st)
+	js := &jaaState{rf: rf}
+	if n <= k {
+		// Every candidate is in every top-k set: R is a single partition.
+		js.emit(r.Halfspaces(), r.Pivot(), fullSet(n), -1, bitset.New(n))
+		finishStats(st, js)
+		return js.out, nil
+	}
+
+	// Initial anchor: the k-th scoring candidate at the pivot of R
+	// (Section 5.1), with its ancestors as the known prefix.
+	excluded := bitset.New(n)
+	eligible := fullSet(n)
+	anchor := rf.selectAnchor(r.Pivot(), eligible, k)
+	prefix := g.Anc[anchor].Clone()
+	ignore := prefix.Clone()
+	ignore.Or(g.Desc[anchor])
+	ignore.Or(excluded)
+	js.partition(anchor, r.Halfspaces(), k-prefix.Count(), ignore, prefix, excluded)
+	finishStats(st, js)
+	return js.out, nil
+}
+
+func finishStats(st *Stats, js *jaaState) {
+	st.Partitions = len(js.out)
+	seen := map[string]bool{}
+	for _, c := range js.out {
+		key := make([]byte, 0, len(c.TopK)*4)
+		for _, id := range c.TopK {
+			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		seen[string(key)] = true
+	}
+	st.UniqueTopKSets = len(seen)
+}
+
+// selectAnchor returns the m-th ranking node among eligible at weight vector
+// w (the anchor choosing strategy of Section 5.1: a record guaranteed to be
+// the last member of the top-k set at w). m is clamped to the eligible
+// population by the callers.
+func (rf *refiner) selectAnchor(w []float64, eligible bitset.Set, m int) int {
+	type scored struct {
+		node  int
+		score float64
+		id    int
+	}
+	all := make([]scored, 0, eligible.Count())
+	eligible.ForEach(func(q int) bool {
+		all = append(all, scored{q, geom.Score(rf.g.Records[q], w), rf.g.IDs[q]})
+		return true
+	})
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].score != all[b].score {
+			return all[a].score > all[b].score
+		}
+		return all[a].id < all[b].id
+	})
+	return all[m-1].node
+}
+
+// emit finalizes an equal-to cell in the common global arrangement. The
+// top-k set is prefix ∪ covering ∪ {anchor} (anchor < 0 when the whole
+// candidate population fits within k).
+func (js *jaaState) emit(cell []geom.Halfspace, interior []float64, prefix bitset.Set, anchor int, covering bitset.Set) {
+	set := prefix.Clone()
+	set.Or(covering)
+	if anchor >= 0 {
+		set.Set(anchor)
+	}
+	ids := make([]int, 0, set.Count())
+	set.ForEach(func(i int) bool {
+		ids = append(ids, js.rf.g.IDs[i])
+		return true
+	})
+	sort.Ints(ids)
+	js.out = append(js.out, CellResult{Constraints: cell, Interior: interior, TopK: ids})
+}
+
+// partition is Algorithm 4: the verification-like process for anchor p in
+// cell ρ. Invariants maintained at every call:
+//
+//   - |prefix| + quota = k, and every prefix member belongs to the top-k set
+//     at every weight vector of the cell OR scores above p everywhere in it;
+//   - every member of ignore \ prefix is either below p everywhere in the
+//     cell (descendants, Lemma-1 casualties, non-covering inserted
+//     competitors) or provably outside every top-k set of the cell
+//     (excluded);
+//   - excluded ⊆ ignore holds the provably-non-top-k records. Passing the
+//     accumulated exclusions through anchor switches (a strict superset of
+//     the pseudo-code's per-call exclusions, and equally safe — a record
+//     outside every top-k set of a cell is outside every top-k set of its
+//     sub-cells) gives the recursion a strictly decreasing measure.
+func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, prefix, excluded bitset.Set) {
+	rf := js.rf
+	rf.st.PartitionCalls++
+	n := rf.g.Len()
+	comp := fullSet(n)
+	comp.AndNot(ignore)
+	comp.Clear(p)
+
+	arr, err := arrangement.New(rf.dim, cell, n, &rf.st.Arrangement)
+	if err != nil {
+		return // defensive: cells passed down are full-dimensional
+	}
+	srcs := rf.sources(comp)
+	inserted := bitset.New(n)
+	for _, q := range srcs {
+		arr.Insert(q, rf.halfspace(q, p))
+		inserted.Set(q)
+	}
+
+	for _, c := range arr.Cells() {
+		cnt := c.Count()
+		rank := cnt + 1
+		switch {
+		case rank > quota:
+			// Greater-than partition: p (and its descendants) are outside
+			// every top-k set here; restart with a fresh anchor. No Lemma-1
+			// confirmation is needed (counts only grow).
+			ex := excluded.Clone()
+			ex.Set(p)
+			ex.Or(rf.g.Desc[p])
+			eligible := fullSet(n)
+			eligible.AndNot(ex)
+			if eligible.Count() <= rf.k {
+				// Everyone still eligible fits in the top-k set.
+				js.emit(c.Constraints(), c.Interior(), eligible, -1, bitset.New(n))
+				continue
+			}
+			na := rf.selectAnchor(c.Interior(), eligible, rf.k)
+			nprefix := rf.g.Anc[na].Clone()
+			nprefix.AndNot(ex) // ancestors that are excluded can never count
+			nignore := nprefix.Clone()
+			nignore.Or(rf.g.Desc[na])
+			nignore.Or(ex)
+			js.partition(na, c.Constraints(), rf.k-nprefix.Count(), nignore, nprefix, ex)
+		default:
+			cannot := rf.cannotAffect(srcs, c, comp)
+			remaining := comp.Clone()
+			remaining.AndNot(inserted)
+			remaining.AndNot(cannot)
+			covering := inserted.Clone()
+			covering.And(c.Covering())
+			if remaining.Empty() {
+				// Rank confirmed by Lemma 1.
+				if rank == quota {
+					// Equal-to partition: finalize.
+					js.emit(c.Constraints(), c.Interior(), prefix, p, covering)
+					continue
+				}
+				// Less-than partition: the k' = |prefix|+rank top records are
+				// known; recurse for the remaining quota−rank slots with a
+				// new anchor.
+				nprefix := prefix.Clone()
+				nprefix.Or(covering)
+				nprefix.Set(p)
+				nquota := quota - rank
+				eligible := fullSet(n)
+				eligible.AndNot(nprefix)
+				eligible.AndNot(excluded)
+				if eligible.Count() <= nquota {
+					js.emit(c.Constraints(), c.Interior(), nprefix, -1, eligible)
+					continue
+				}
+				na := rf.selectAnchor(c.Interior(), eligible, nquota)
+				nignore := nprefix.Clone()
+				nignore.Or(rf.g.Desc[na])
+				nignore.Or(excluded)
+				js.partition(na, c.Constraints(), nquota, nignore, nprefix, excluded)
+				continue
+			}
+			// Unclassified: continue partitioning with the same anchor,
+			// ignoring the processed and Lemma-1-disregarded competitors and
+			// folding the covering ones into the prefix.
+			nprefix := prefix.Clone()
+			nprefix.Or(covering)
+			nignore := ignore.Clone()
+			nignore.Or(inserted)
+			nignore.Or(cannot)
+			js.partition(p, c.Constraints(), quota-cnt, nignore, nprefix, excluded)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/klevel"
+)
+
+// TestRSAAgainstSweep2D cross-validates RSA and JAA against the independent
+// 2-dimensional dual-line sweep at scales far beyond what the
+// full-arrangement oracle can handle.
+func TestRSAAgainstSweep2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	for trial := 0; trial < 12; trial++ {
+		n := 500 + rng.Intn(1500)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		lo := 0.05 + rng.Float64()*0.6
+		hi := lo + 0.02 + rng.Float64()*0.3
+		if hi > 0.99 {
+			hi = 0.99
+		}
+		k := 1 + rng.Intn(10)
+		r, err := geom.NewBox([]float64{lo}, []float64{hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := buildTree(t, data)
+
+		want, err := klevel.UTK1(data, lo, hi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RSA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(got)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d n=%d k=%d [%g,%g]: RSA %v != sweep %v",
+				trial, n, k, lo, hi, got, want)
+		}
+
+		// JAA cells must agree with the sweep intervals at their interiors.
+		cells, _, err := JAA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivs, err := klevel.UTK2(data, lo, hi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			w := c.Interior[0]
+			var match *klevel.Interval
+			for i := range ivs {
+				if w >= ivs[i].Lo-geom.Eps && w <= ivs[i].Hi+geom.Eps {
+					match = &ivs[i]
+					break
+				}
+			}
+			if match == nil {
+				t.Fatalf("trial %d: JAA interior %g outside every sweep interval", trial, w)
+			}
+			if !equalIDs(c.TopK, match.TopK) {
+				t.Fatalf("trial %d: at w=%g JAA set %v != sweep set %v",
+					trial, w, c.TopK, match.TopK)
+			}
+		}
+	}
+}

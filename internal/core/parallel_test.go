@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestParallelMatchesSequential verifies that concurrent verification
+// produces exactly the sequential UTK1 result across randomized instances
+// and worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(800))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(3)
+		data := randomData(rng, 300, d)
+		r := randomBox(rng, d-1)
+		tree := buildTree(t, data)
+		k := 1 + rng.Intn(8)
+		seq, _, err := RSA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(seq)
+		for _, workers := range []int{2, 4, 8} {
+			par, _, err := RSA(tree, r, k, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Ints(par)
+			if !equalIDs(seq, par) {
+				t.Fatalf("trial %d workers=%d: parallel %v != sequential %v",
+					trial, workers, par, seq)
+			}
+		}
+	}
+}
+
+// TestParallelStatsAggregated ensures worker statistics are merged.
+func TestParallelStatsAggregated(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	data := randomData(rng, 400, 3)
+	r := mustBox(t, []float64{0.15, 0.15}, []float64{0.35, 0.35})
+	tree := buildTree(t, data)
+	_, st, err := RSA(tree, r, 5, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VerifyCalls == 0 || st.Candidates == 0 {
+		t.Fatalf("parallel stats not aggregated: %+v", st)
+	}
+}

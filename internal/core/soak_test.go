@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+// TestSoakAgainstOracle is a wide randomized agreement pass: many small
+// instances across dimensionalities, region shapes, duplicate densities,
+// and k values, each checked exactly against the full-arrangement oracle.
+// It complements the targeted tests with breadth.
+func TestSoakAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	trials := 60
+	for trial := 0; trial < trials; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 8 + rng.Intn(14)
+		data := randomData(rng, n, d)
+		// Inject duplicates and near-ties at random.
+		if rng.Intn(3) == 0 {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			copy(data[dst], data[src])
+		}
+		if rng.Intn(3) == 0 {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			for j := range data[dst] {
+				data[dst][j] = data[src][j] + rng.Float64()*1e-3
+			}
+		}
+		r := randomBox(rng, d-1)
+		k := 1 + rng.Intn(4)
+		tree := buildTree(t, data)
+		want := oracle.UTK1(data, r, k)
+
+		got, _, err := RSA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(got)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d (d=%d n=%d k=%d): RSA %v != oracle %v", trial, d, n, k, got, want)
+		}
+
+		cells, _, err := JAA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := map[int]bool{}
+		for _, c := range cells {
+			probe := oracle.TopKAt(data, c.Interior, k)
+			if !equalIDs(c.TopK, probe) {
+				t.Fatalf("trial %d: JAA cell %v != probe %v at %v", trial, c.TopK, probe, c.Interior)
+			}
+			for _, id := range c.TopK {
+				union[id] = true
+			}
+		}
+		if len(union) != len(want) {
+			t.Fatalf("trial %d: JAA union size %d != oracle %d", trial, len(union), len(want))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import "testing"
+
+func TestNormalize10(t *testing.T) {
+	data := [][]float64{{1, 20}, {2, 10}, {4, 5}}
+	n := Normalize10(data)
+	if n[2][0] != 10 || n[0][1] != 10 {
+		t.Fatalf("column maxima must map to 10: %v", n)
+	}
+	if n[0][0] != 2.5 || n[1][1] != 5 {
+		t.Fatalf("proportional scaling wrong: %v", n)
+	}
+	if Normalize10(nil) != nil {
+		t.Fatal("nil input should give nil")
+	}
+	z := Normalize10([][]float64{{0, 0}})
+	if z[0][0] != 0 || z[0][1] != 0 {
+		t.Fatal("all-zero column must stay zero, not NaN")
+	}
+}
+
+// TestCaseStudyCrossover pins the property the Figure 9(a) reproduction
+// relies on: with max-normalized attributes, Drummond overtakes Westbrook
+// on (rebounds, points) scoring at a rebounding weight near 0.72.
+func TestCaseStudyCrossover(t *testing.T) {
+	players := NBA2017()
+	m, err := PlayersMatrix(players, "reb", "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := Normalize10(m)
+	var west, drummond []float64
+	for i, p := range players {
+		switch p.Name {
+		case "Russell Westbrook":
+			west = nm[i]
+		case "Andre Drummond":
+			drummond = nm[i]
+		}
+	}
+	score := func(p []float64, wr float64) float64 { return wr*p[0] + (1-wr)*p[1] }
+	if score(west, 0.70) <= score(drummond, 0.70) {
+		t.Fatal("Westbrook should lead Drummond at wr = 0.70")
+	}
+	if score(west, 0.74) >= score(drummond, 0.74) {
+		t.Fatal("Drummond should lead Westbrook at wr = 0.74")
+	}
+}

@@ -1,0 +1,443 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Region is a bounded convex polytope in the reduced preference domain. It
+// keeps both representations: the bounding half-spaces (H-representation)
+// and the defining vertices (V-representation). Boxes — the common case in
+// the paper's experiments — carry a fast path for classification.
+type Region struct {
+	dim        int
+	halfspaces []Halfspace
+	vertices   [][]float64
+	isBox      bool
+	lo, hi     []float64
+	pivot      []float64
+}
+
+// ErrEmptyRegion is returned when a requested region has no full-dimensional
+// interior.
+var ErrEmptyRegion = errors.New("geom: region is empty or lower-dimensional")
+
+// NewBox builds an axis-parallel hyper-rectangle [lo, hi] in the reduced
+// preference domain. It validates that the box is full-dimensional and lies
+// inside the domain (all weights non-negative, sum at most one).
+func NewBox(lo, hi []float64) (*Region, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("geom: box corner dimensions differ: %d vs %d", len(lo), len(hi))
+	}
+	dim := len(lo)
+	if dim == 0 {
+		return nil, errors.New("geom: zero-dimensional box")
+	}
+	sumLo := 0.0
+	for i := range lo {
+		if hi[i]-lo[i] < Eps {
+			return nil, fmt.Errorf("geom: box side %d is empty: [%g, %g]: %w", i, lo[i], hi[i], ErrEmptyRegion)
+		}
+		if lo[i] < -Eps {
+			return nil, fmt.Errorf("geom: box extends below zero in dimension %d", i)
+		}
+		sumLo += lo[i]
+	}
+	if sumLo >= 1-Eps {
+		return nil, fmt.Errorf("geom: box lies outside the weight simplex (Σ lo = %g ≥ 1)", sumLo)
+	}
+	r := &Region{
+		dim:   dim,
+		isBox: true,
+		lo:    append([]float64(nil), lo...),
+		hi:    append([]float64(nil), hi...),
+	}
+	for i := 0; i < dim; i++ {
+		aLo := make([]float64, dim)
+		aLo[i] = 1
+		aHi := make([]float64, dim)
+		aHi[i] = -1
+		r.halfspaces = append(r.halfspaces, Halfspace{A: aLo, B: lo[i]}, Halfspace{A: aHi, B: -hi[i]})
+	}
+	r.vertices = boxVertices(lo, hi)
+	r.computePivot()
+	return r, nil
+}
+
+// NewPolytope builds a general convex region from bounding half-spaces. The
+// vertices are enumerated exactly (intersections of dim-subsets of the
+// bounding hyperplanes, kept when feasible); the construction is intended
+// for the low-dimensional regions the paper targets. The half-spaces of the
+// preference-domain simplex are added implicitly so the region is always
+// bounded.
+func NewPolytope(dim int, halfspaces []Halfspace) (*Region, error) {
+	if dim <= 0 {
+		return nil, errors.New("geom: non-positive dimension")
+	}
+	all := make([]Halfspace, 0, len(halfspaces)+dim+1)
+	for _, h := range halfspaces {
+		if len(h.A) != dim {
+			return nil, fmt.Errorf("geom: half-space dimension %d does not match region dimension %d", len(h.A), dim)
+		}
+		all = append(all, h.Clone())
+	}
+	all = append(all, SimplexHalfspaces(dim)...)
+	verts := EnumerateVertices(dim, all)
+	if len(verts) <= dim {
+		return nil, ErrEmptyRegion
+	}
+	r := &Region{dim: dim, halfspaces: all, vertices: verts}
+	r.computePivot()
+	// Reject lower-dimensional regions: all vertices on a common hyperplane.
+	if r.volumeProxy() < Eps {
+		return nil, ErrEmptyRegion
+	}
+	return r, nil
+}
+
+// NewPolytopeFromVertices builds a convex region as the hull of the given
+// vertex set. The H-representation is derived for boxes only; general
+// vertex-only regions keep an empty half-space list and rely on vertex-based
+// classification, which is exact for convex hulls.
+func NewPolytopeFromVertices(vertices [][]float64) (*Region, error) {
+	if len(vertices) == 0 {
+		return nil, ErrEmptyRegion
+	}
+	dim := len(vertices[0])
+	vs := make([][]float64, len(vertices))
+	for i, v := range vertices {
+		if len(v) != dim {
+			return nil, fmt.Errorf("geom: vertex %d has dimension %d, want %d", i, len(v), dim)
+		}
+		vs[i] = append([]float64(nil), v...)
+	}
+	r := &Region{dim: dim, vertices: vs}
+	r.computePivot()
+	return r, nil
+}
+
+// Dim returns the dimensionality of the preference domain the region lives
+// in (d−1 for d-dimensional data).
+func (r *Region) Dim() int { return r.dim }
+
+// IsBox reports whether the region is an axis-parallel box.
+func (r *Region) IsBox() bool { return r.isBox }
+
+// Bounds returns the box corners, or nil if the region is not a box.
+func (r *Region) Bounds() (lo, hi []float64) {
+	if !r.isBox {
+		return nil, nil
+	}
+	return append([]float64(nil), r.lo...), append([]float64(nil), r.hi...)
+}
+
+// Halfspaces returns the bounding half-spaces (a copy).
+func (r *Region) Halfspaces() []Halfspace {
+	out := make([]Halfspace, len(r.halfspaces))
+	for i, h := range r.halfspaces {
+		out[i] = h.Clone()
+	}
+	return out
+}
+
+// Vertices returns the defining vertices (a copy).
+func (r *Region) Vertices() [][]float64 {
+	out := make([][]float64, len(r.vertices))
+	for i, v := range r.vertices {
+		out[i] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// Pivot returns the pivot vector of the region: the per-dimension average of
+// its vertices. Convexity guarantees the pivot lies inside the region; the
+// r-skyband search and anchor selection use it as the representative weight
+// vector.
+func (r *Region) Pivot() []float64 {
+	return append([]float64(nil), r.pivot...)
+}
+
+// Contains reports whether the reduced weight vector w lies in the region.
+func (r *Region) Contains(w []float64) bool {
+	if r.isBox {
+		for i := range w {
+			if w[i] < r.lo[i]-Eps || w[i] > r.hi[i]+Eps {
+				return false
+			}
+		}
+		return true
+	}
+	if len(r.halfspaces) > 0 {
+		for _, h := range r.halfspaces {
+			if !h.Contains(w) {
+				return false
+			}
+		}
+		return true
+	}
+	// Vertex-only region: fall back to an approximate test via the support
+	// function is not exact; regions built from vertices alone are only used
+	// where Classify suffices.
+	panic("geom: Contains on vertex-only region without H-representation")
+}
+
+// Classify positions the region relative to the closed half-space h. The
+// test is exact for convex regions: the minimum and maximum of the linear
+// functional over the region are attained at vertices.
+func (r *Region) Classify(h Halfspace) Side {
+	if r.isBox {
+		lo, hi := boxExtremes(h, r.lo, r.hi)
+		return sideFromExtremes(lo, hi)
+	}
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	for _, v := range r.vertices {
+		e := h.Eval(v)
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	return sideFromExtremes(lo, hi)
+}
+
+// sideFromExtremes converts the [min, max] range of A·w − B over a region
+// into a Side. A region whose maximum is within tolerance of zero only
+// touches the boundary and counts as Outside; symmetrically for Inside.
+func sideFromExtremes(lo, hi float64) Side {
+	if lo >= -Eps {
+		return Inside
+	}
+	if hi <= Eps {
+		return Outside
+	}
+	return Straddle
+}
+
+// boxExtremes returns the minimum and maximum of h.Eval over the box
+// [lo, hi] in O(dim) by picking the corner per coefficient sign.
+func boxExtremes(h Halfspace, lo, hi []float64) (mn, mx float64) {
+	mn, mx = -h.B, -h.B
+	for i, a := range h.A {
+		if a >= 0 {
+			mn += a * lo[i]
+			mx += a * hi[i]
+		} else {
+			mn += a * hi[i]
+			mx += a * lo[i]
+		}
+	}
+	return mn, mx
+}
+
+func (r *Region) computePivot() {
+	p := make([]float64, r.dim)
+	for _, v := range r.vertices {
+		for i := range p {
+			p[i] += v[i]
+		}
+	}
+	n := float64(len(r.vertices))
+	if n > 0 {
+		for i := range p {
+			p[i] /= n
+		}
+	}
+	r.pivot = p
+}
+
+// volumeProxy returns a cheap lower-bound proxy for full-dimensionality: the
+// product over dimensions of the vertex spread. Zero spread in any dimension
+// means the polytope is degenerate only if it is axis-aligned; combined with
+// the rank test below it is sufficient for validation purposes.
+func (r *Region) volumeProxy() float64 {
+	if len(r.vertices) == 0 {
+		return 0
+	}
+	// Rank of the vertex-difference matrix must be dim for a full-dimensional
+	// polytope.
+	base := r.vertices[0]
+	rows := make([][]float64, 0, len(r.vertices)-1)
+	for _, v := range r.vertices[1:] {
+		row := make([]float64, r.dim)
+		for i := range row {
+			row[i] = v[i] - base[i]
+		}
+		rows = append(rows, row)
+	}
+	if matrixRank(rows, r.dim) < r.dim {
+		return 0
+	}
+	return 1
+}
+
+// boxVertices enumerates the 2^dim corners of a box.
+func boxVertices(lo, hi []float64) [][]float64 {
+	dim := len(lo)
+	n := 1 << dim
+	out := make([][]float64, 0, n)
+	for mask := 0; mask < n; mask++ {
+		v := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			if mask&(1<<i) != 0 {
+				v[i] = hi[i]
+			} else {
+				v[i] = lo[i]
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// EnumerateVertices computes the vertices of the polytope ∩{A_i·w ≥ B_i} by
+// solving every dim-subset of boundary hyperplanes and keeping feasible
+// intersection points. Complexity is O(C(m, dim)·m·dim), which is fine for
+// the small m and dim the preference domain uses.
+func EnumerateVertices(dim int, halfspaces []Halfspace) [][]float64 {
+	var verts [][]float64
+	idx := make([]int, dim)
+	var rec func(start, depth int)
+	a := make([][]float64, dim)
+	b := make([]float64, dim)
+	rec = func(start, depth int) {
+		if depth == dim {
+			for i, j := range idx {
+				a[i] = halfspaces[j].A
+				b[i] = halfspaces[j].B
+			}
+			x, ok := SolveLinearSystem(a, b)
+			if !ok {
+				return
+			}
+			for _, h := range halfspaces {
+				if h.Eval(x) < -1e-7 {
+					return
+				}
+			}
+			verts = append(verts, x)
+			return
+		}
+		for i := start; i < len(halfspaces); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	if dim <= len(halfspaces) {
+		rec(0, 0)
+	}
+	return dedupePoints(verts)
+}
+
+// dedupePoints removes near-duplicate points (within 1e-7 per coordinate).
+func dedupePoints(pts [][]float64) [][]float64 {
+	if len(pts) <= 1 {
+		return pts
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		for k := range pts[i] {
+			if pts[i][k] != pts[j][k] {
+				return pts[i][k] < pts[j][k]
+			}
+		}
+		return false
+	})
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		last := out[len(out)-1]
+		same := true
+		for k := range p {
+			if math.Abs(p[k]-last[k]) > 1e-7 {
+				same = false
+				break
+			}
+		}
+		if !same {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SolveLinearSystem solves the square system a·x = b by Gaussian elimination
+// with partial pivoting. It reports ok=false for (near-)singular systems.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		pivVal := m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / pivVal
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}
+
+// matrixRank returns the rank of the given row set over `cols` columns,
+// computed by Gaussian elimination with a fixed tolerance.
+func matrixRank(rows [][]float64, cols int) int {
+	m := make([][]float64, len(rows))
+	for i, r := range rows {
+		m[i] = append([]float64(nil), r...)
+	}
+	rank := 0
+	for col := 0; col < cols && rank < len(m); col++ {
+		piv := -1
+		for r := rank; r < len(m); r++ {
+			if math.Abs(m[r][col]) > 1e-9 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		m[rank], m[piv] = m[piv], m[rank]
+		for r := 0; r < len(m); r++ {
+			if r == rank {
+				continue
+			}
+			f := m[r][col] / m[rank][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < cols; c++ {
+				m[r][c] -= f * m[rank][c]
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,213 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustBox(t *testing.T, lo, hi []float64) *Region {
+	t.Helper()
+	r, err := NewBox(lo, hi)
+	if err != nil {
+		t.Fatalf("NewBox(%v, %v): %v", lo, hi, err)
+	}
+	return r
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox([]float64{0.1}, []float64{0.1}); !errors.Is(err, ErrEmptyRegion) {
+		t.Fatalf("degenerate box should report ErrEmptyRegion, got %v", err)
+	}
+	if _, err := NewBox([]float64{0.2, 0.2}, []float64{0.1, 0.3}); err == nil {
+		t.Fatal("inverted box should fail")
+	}
+	if _, err := NewBox([]float64{-0.2}, []float64{0.3}); err == nil {
+		t.Fatal("negative box should fail")
+	}
+	if _, err := NewBox([]float64{0.6, 0.6}, []float64{0.9, 0.9}); err == nil {
+		t.Fatal("box outside the simplex should fail")
+	}
+	if _, err := NewBox([]float64{0.1, 0.2}, []float64{0.3}); err == nil {
+		t.Fatal("mismatched corners should fail")
+	}
+}
+
+func TestBoxVerticesAndPivot(t *testing.T) {
+	r := mustBox(t, []float64{0.1, 0.2}, []float64{0.3, 0.4})
+	vs := r.Vertices()
+	if len(vs) != 4 {
+		t.Fatalf("want 4 vertices, got %d", len(vs))
+	}
+	pv := r.Pivot()
+	if math.Abs(pv[0]-0.2) > 1e-12 || math.Abs(pv[1]-0.3) > 1e-12 {
+		t.Fatalf("pivot = %v, want [0.2 0.3]", pv)
+	}
+	if !r.Contains(pv) {
+		t.Fatal("pivot must be inside the region")
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	r := mustBox(t, []float64{0.1, 0.1}, []float64{0.3, 0.3})
+	if !r.Contains([]float64{0.2, 0.2}) {
+		t.Fatal("interior point should be contained")
+	}
+	if r.Contains([]float64{0.05, 0.2}) {
+		t.Fatal("outside point should not be contained")
+	}
+	if !r.Contains([]float64{0.1, 0.3}) {
+		t.Fatal("boundary point should be contained")
+	}
+}
+
+func TestClassifyBox(t *testing.T) {
+	r := mustBox(t, []float64{0.2, 0.2}, []float64{0.4, 0.4})
+	cases := []struct {
+		h    Halfspace
+		want Side
+	}{
+		{Halfspace{A: []float64{1, 0}, B: 0.1}, Inside},    // w1 ≥ 0.1 covers box
+		{Halfspace{A: []float64{1, 0}, B: 0.5}, Outside},   // w1 ≥ 0.5 misses box
+		{Halfspace{A: []float64{1, 0}, B: 0.3}, Straddle},  // w1 ≥ 0.3 cuts box
+		{Halfspace{A: []float64{-1, 0}, B: -0.4}, Inside},  // w1 ≤ 0.4 covers box (touching)
+		{Halfspace{A: []float64{1, 1}, B: 0.81}, Outside},  // sum ≥ 0.81 barely misses
+		{Halfspace{A: []float64{1, 1}, B: 0.79}, Straddle}, // sum ≥ 0.79 cuts corner
+	}
+	for i, c := range cases {
+		if got := r.Classify(c.h); got != c.want {
+			t.Errorf("case %d: Classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestClassifyAgainstSampling cross-checks Classify against dense point
+// sampling inside random boxes.
+func TestClassifyAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(4)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := range lo {
+			lo[i] = rng.Float64() * 0.3 / float64(dim)
+			hi[i] = lo[i] + 0.05 + rng.Float64()*0.2/float64(dim)
+		}
+		r, err := NewBox(lo, hi)
+		if err != nil {
+			continue
+		}
+		h := Halfspace{A: make([]float64, dim), B: rng.NormFloat64() * 0.1}
+		for i := range h.A {
+			h.A[i] = rng.NormFloat64()
+		}
+		side := r.Classify(h)
+		sawIn, sawOut := false, false
+		for s := 0; s < 100; s++ {
+			w := make([]float64, dim)
+			for i := range w {
+				w[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			if h.Eval(w) > 1e-7 {
+				sawIn = true
+			} else if h.Eval(w) < -1e-7 {
+				sawOut = true
+			}
+		}
+		switch side {
+		case Inside:
+			if sawOut {
+				t.Fatalf("trial %d: classified Inside but sampled outside point", trial)
+			}
+		case Outside:
+			if sawIn {
+				t.Fatalf("trial %d: classified Outside but sampled inside point", trial)
+			}
+		}
+	}
+}
+
+func TestNewPolytope(t *testing.T) {
+	// Triangle w1 ≥ 0.1, w2 ≥ 0.1, w1 + w2 ≤ 0.5 in 2-dim domain.
+	hs := []Halfspace{
+		{A: []float64{1, 0}, B: 0.1},
+		{A: []float64{0, 1}, B: 0.1},
+		{A: []float64{-1, -1}, B: -0.5},
+	}
+	r, err := NewPolytope(2, hs)
+	if err != nil {
+		t.Fatalf("NewPolytope: %v", err)
+	}
+	if len(r.Vertices()) != 3 {
+		t.Fatalf("triangle should have 3 vertices, got %d: %v", len(r.Vertices()), r.Vertices())
+	}
+	if !r.Contains([]float64{0.2, 0.2}) {
+		t.Fatal("triangle should contain its centroid area")
+	}
+	if r.Contains([]float64{0.3, 0.3}) {
+		t.Fatal("triangle should exclude points past the diagonal")
+	}
+	if got := r.Classify(Halfspace{A: []float64{1, 0}, B: 0.05}); got != Inside {
+		t.Fatalf("Classify = %v, want Inside", got)
+	}
+}
+
+func TestNewPolytopeEmpty(t *testing.T) {
+	hs := []Halfspace{
+		{A: []float64{1, 0}, B: 0.6},
+		{A: []float64{-1, 0}, B: -0.4}, // w1 ≤ 0.4 contradicts w1 ≥ 0.6
+	}
+	if _, err := NewPolytope(2, hs); !errors.Is(err, ErrEmptyRegion) {
+		t.Fatalf("want ErrEmptyRegion, got %v", err)
+	}
+}
+
+func TestNewPolytopeLowerDimensional(t *testing.T) {
+	hs := []Halfspace{
+		{A: []float64{1, 0}, B: 0.3},
+		{A: []float64{-1, 0}, B: -0.3}, // w1 == 0.3 exactly
+	}
+	if _, err := NewPolytope(2, hs); !errors.Is(err, ErrEmptyRegion) {
+		t.Fatalf("want ErrEmptyRegion for a segment, got %v", err)
+	}
+}
+
+func TestEnumerateVerticesSquare(t *testing.T) {
+	hs := []Halfspace{
+		{A: []float64{1, 0}, B: 0.1},
+		{A: []float64{-1, 0}, B: -0.3},
+		{A: []float64{0, 1}, B: 0.1},
+		{A: []float64{0, -1}, B: -0.3},
+	}
+	vs := EnumerateVertices(2, hs)
+	if len(vs) != 4 {
+		t.Fatalf("square should have 4 vertices, got %d: %v", len(vs), vs)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, ok := SolveLinearSystem(a, b)
+	if !ok {
+		t.Fatal("system should be solvable")
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("x = %v, want [2 1]", x)
+	}
+	if _, ok := SolveLinearSystem([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); ok {
+		t.Fatal("singular system should fail")
+	}
+}
+
+func TestRegionVerticesInsideHalfspaces(t *testing.T) {
+	r := mustBox(t, []float64{0.05, 0.05, 0.05}, []float64{0.25, 0.25, 0.25})
+	for _, v := range r.Vertices() {
+		for _, h := range r.Halfspaces() {
+			if !h.Contains(v) {
+				t.Fatalf("vertex %v violates bounding half-space", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package hull computes onion layers (Chang et al.'s onion technique)
+// restricted to convex-hull facets whose normal lies in the first quadrant —
+// the variant the paper's ON baseline uses as its filtering step.
+//
+// Implementation note (documented in DESIGN.md): a record lies on a hull
+// facet with non-negative normal exactly when some non-negative weight
+// vector ranks it first, so layer membership is decided by the LP
+// feasibility test "∃ w in the closed preference simplex with
+// S(p) ≥ S(q) for every other active record q". This reproduces quickhull's
+// first-quadrant output set without a d-dimensional hull implementation, and
+// per the paper's implementation note ([10, 52]) it is applied to the
+// k-skyband rather than the full dataset.
+package hull
+
+import (
+	"repro/internal/geom"
+	"repro/internal/lp"
+)
+
+// OnionLayers peels up to k layers off the given records and returns the
+// indices (into records) of each layer. Records in earlier layers are
+// ignored when computing later ones. Fewer than k layers are returned when
+// the records run out.
+func OnionLayers(records [][]float64, k int) [][]int {
+	n := len(records)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := n
+	var layers [][]int
+	for layer := 0; layer < k && remaining > 0; layer++ {
+		var cur []int
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			if onFirstQuadrantHull(records, active, i) {
+				cur = append(cur, i)
+			}
+		}
+		if len(cur) == 0 {
+			// Degenerate fallback (e.g., exact duplicates shadowing each
+			// other): emit all remaining records as the final layer.
+			for i := 0; i < n; i++ {
+				if active[i] {
+					cur = append(cur, i)
+				}
+			}
+		}
+		for _, i := range cur {
+			active[i] = false
+			remaining--
+		}
+		layers = append(layers, cur)
+	}
+	return layers
+}
+
+// Flatten returns the union of the given layers.
+func Flatten(layers [][]int) []int {
+	var out []int
+	for _, l := range layers {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// onFirstQuadrantHull reports whether records[i] achieves top-1 among the
+// active records for some weight vector in the closed preference simplex.
+//
+// By LP duality, "∃ w in the simplex with S(p) ≥ S(q) for every active q"
+// fails exactly when a convex combination of the active competitors strictly
+// dominates p in every coordinate. The dual formulation has only d+1
+// constraint rows (one per data dimension plus the convexity row) and one
+// column per competitor, so the tableau stays tiny even for thousands of
+// candidates — the row-heavy primal is orders of magnitude slower.
+func onFirstQuadrantHull(records [][]float64, active []bool, i int) bool {
+	p := records[i]
+	d := len(p)
+	var comp [][]float64
+	for j, rec := range records {
+		if j == i || !active[j] {
+			continue
+		}
+		if geom.Dominates(rec, p) && strictlyGreaterEverywhere(rec, p) {
+			return false // a strict dominator disqualifies p immediately
+		}
+		comp = append(comp, rec)
+	}
+	if len(comp) == 0 {
+		return true
+	}
+	// Variables: λ_1..λ_m ≥ 0 (combination weights), s⁺, s⁻ ≥ 0 encoding the
+	// free slack s = s⁺ − s⁻. Maximize s subject to
+	//   Σ_j λ_j (q_j[i] − p[i]) − s ≥ 0 for every dimension i, Σ λ = 1.
+	// p is on the hull iff the optimum s* ≤ 0 (no strictly dominating
+	// combination exists).
+	m := len(comp)
+	cons := make([]lp.Constraint, 0, d+1)
+	for dimIdx := 0; dimIdx < d; dimIdx++ {
+		coef := make([]float64, m+2)
+		for j, q := range comp {
+			coef[j] = q[dimIdx] - p[dimIdx]
+		}
+		coef[m] = -1  // −s⁺
+		coef[m+1] = 1 // +s⁻
+		cons = append(cons, lp.Constraint{Coef: coef, Rel: lp.GE, RHS: 0})
+	}
+	convex := make([]float64, m+2)
+	for j := 0; j < m; j++ {
+		convex[j] = 1
+	}
+	cons = append(cons, lp.Constraint{Coef: convex, Rel: lp.EQ, RHS: 1})
+	obj := make([]float64, m+2)
+	obj[m] = 1
+	obj[m+1] = -1
+	sol := lp.MaximizeNonneg(obj, cons)
+	if sol.Status == lp.Unbounded {
+		// s unbounded above means some combination dominates with arbitrary
+		// margin; p cannot win anywhere. (Cannot happen with the convexity
+		// row bounding λ, but handle defensively.)
+		return false
+	}
+	if sol.Status != lp.Optimal {
+		return true
+	}
+	return sol.Value <= geom.Eps
+}
+
+// strictlyGreaterEverywhere reports q > p in every coordinate.
+func strictlyGreaterEverywhere(q, p []float64) bool {
+	for i := range q {
+		if q[i] <= p[i]+geom.Eps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+// Package klevel implements exact UTK processing for 2-dimensional data by
+// a direct sweep of the dual line arrangement. For d = 2 the preference
+// domain is the interval [lo, hi] ⊂ [0, 1] and every record maps to the
+// line S(w) = x₂ + w·(x₁ − x₂) (Section 3.2 of the paper); the top-k set
+// changes only at crossings of lines within the ≤ k-level, so sorting the
+// pairwise crossing abscissas and probing one point per elementary interval
+// yields the exact UTK2 partitioning in O(B·n log n) for B breakpoints.
+//
+// The paper treats d = 2 as the degenerate case solved by earlier ≤ k-level
+// work ([16, 15]); this sweep plays that role here. It shares no refinement
+// code with RSA/JAA, which makes it a strong large-scale cross-validation
+// oracle for them (see the core package tests), and a fast path for
+// 2-attribute datasets.
+package klevel
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Interval is one cell of the 2-dimensional UTK2 output: the top-k set is
+// constant for w ∈ [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+	// TopK holds the dataset ids, sorted ascending.
+	TopK []int
+}
+
+// ErrDimension is returned when the data is not 2-dimensional.
+var ErrDimension = errors.New("klevel: sweep requires 2-dimensional records")
+
+// UTK2 computes the exact partitioning of [lo, hi] into maximal intervals of
+// constant top-k set. Ties break by ascending record id, consistently with
+// the rest of the library.
+func UTK2(data [][]float64, lo, hi float64, k int) ([]Interval, error) {
+	if len(data) == 0 {
+		return nil, errors.New("klevel: empty dataset")
+	}
+	if len(data[0]) != 2 {
+		return nil, ErrDimension
+	}
+	if k <= 0 {
+		return nil, errors.New("klevel: k must be positive")
+	}
+	if !(lo < hi) || lo < 0 || hi > 1 {
+		return nil, errors.New("klevel: need 0 ≤ lo < hi ≤ 1")
+	}
+	if k > len(data) {
+		k = len(data)
+	}
+	// Filter to the k-skyband: no record outside it can enter any top-k set,
+	// and crossings among non-candidates cannot move the ≤ k-level.
+	cand := skybandFilter(data, k)
+
+	// Collect crossing abscissas inside (lo, hi).
+	breaks := []float64{lo, hi}
+	for i := 0; i < len(cand); i++ {
+		for j := i + 1; j < len(cand); j++ {
+			p, q := data[cand[i]], data[cand[j]]
+			// S_p(w) = p2 + w(p1−p2); crossing where slopes differ.
+			dp := p[0] - p[1]
+			dq := q[0] - q[1]
+			if diff := dp - dq; diff > geom.Eps || diff < -geom.Eps {
+				w := (q[1] - p[1]) / diff
+				if w > lo+geom.Eps && w < hi-geom.Eps {
+					breaks = append(breaks, w)
+				}
+			}
+		}
+	}
+	sort.Float64s(breaks)
+
+	// Probe one interior point per elementary interval and merge adjacent
+	// intervals with identical sets.
+	var out []Interval
+	for i := 0; i+1 < len(breaks); i++ {
+		a, b := breaks[i], breaks[i+1]
+		if b-a <= geom.Eps {
+			continue
+		}
+		mid := (a + b) / 2
+		top := topKAt(data, cand, mid, k)
+		if n := len(out); n > 0 && equalInts(out[n-1].TopK, top) {
+			out[n-1].Hi = b
+			continue
+		}
+		out = append(out, Interval{Lo: a, Hi: b, TopK: top})
+	}
+	return out, nil
+}
+
+// UTK1 returns the union of the UTK2 interval sets: the minimal set of
+// records entering some top-k set for w ∈ [lo, hi].
+func UTK1(data [][]float64, lo, hi float64, k int) ([]int, error) {
+	ivs, err := UTK2(data, lo, hi, k)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	for _, iv := range ivs {
+		for _, id := range iv.TopK {
+			seen[id] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// skybandFilter returns the ids of records dominated by fewer than k others,
+// by the classic O(n log n + n·s) sort-and-scan for 2 dimensions.
+func skybandFilter(data [][]float64, k int) []int {
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := data[order[a]], data[order[b]]
+		if pa[0] != pb[0] {
+			return pa[0] > pb[0]
+		}
+		if pa[1] != pb[1] {
+			return pa[1] > pb[1]
+		}
+		return order[a] < order[b]
+	})
+	// Scanning by descending x₁, a record is dominated only by already-seen
+	// records with strictly larger (or equal-with-strict-other) attributes;
+	// keep the k best x₂ values seen so far as the dominance frontier.
+	var kept []int
+	var bestY []float64 // sorted descending, at most k entries
+	for _, id := range order {
+		p := data[id]
+		cnt := 0
+		for _, y := range bestY {
+			if y >= p[1] {
+				cnt++
+			}
+		}
+		// cnt over-counts coincident records only when equal in both attrs;
+		// dominance requires strict somewhere, so recount exactly if close.
+		if cnt >= k {
+			exact := 0
+			for _, kid := range kept {
+				if geom.Dominates(data[kid], p) {
+					exact++
+					if exact >= k {
+						break
+					}
+				}
+			}
+			cnt = exact
+		}
+		if cnt < k {
+			kept = append(kept, id)
+			bestY = insertDesc(bestY, p[1], k*4)
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// insertDesc inserts v into the descending slice, capping its length.
+func insertDesc(s []float64, v float64, maxLen int) []float64 {
+	pos := sort.Search(len(s), func(i int) bool { return s[i] < v })
+	s = append(s, 0)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	if len(s) > maxLen {
+		s = s[:maxLen]
+	}
+	return s
+}
+
+// topKAt returns the sorted ids of the k best candidates at w.
+func topKAt(data [][]float64, cand []int, w float64, k int) []int {
+	type scored struct {
+		id int
+		v  float64
+	}
+	all := make([]scored, len(cand))
+	for i, id := range cand {
+		p := data[id]
+		all[i] = scored{id, p[1] + w*(p[0]-p[1])}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].v != all[b].v {
+			return all[a].v > all[b].v
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

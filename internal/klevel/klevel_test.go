@@ -1,0 +1,165 @@
+package klevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/oracle"
+)
+
+func randomData2D(rng *rand.Rand, n int) [][]float64 {
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	return data
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := UTK2(nil, 0.1, 0.2, 1); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	if _, err := UTK2([][]float64{{1, 2, 3}}, 0.1, 0.2, 1); err == nil {
+		t.Fatal("3D data should fail")
+	}
+	if _, err := UTK2([][]float64{{1, 2}}, 0.1, 0.2, 0); err == nil {
+		t.Fatal("k = 0 should fail")
+	}
+	if _, err := UTK2([][]float64{{1, 2}}, 0.5, 0.3, 1); err == nil {
+		t.Fatal("inverted interval should fail")
+	}
+}
+
+func TestKnownInstance(t *testing.T) {
+	// Record 0 wins for high w, record 1 for low w; crossing at w = 0.5.
+	data := [][]float64{
+		{10, 0},
+		{0, 10},
+		{4, 4},
+	}
+	ivs, err := UTK2(data, 0.2, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("want 2 intervals, got %+v", ivs)
+	}
+	if ivs[0].TopK[0] != 1 || ivs[1].TopK[0] != 0 {
+		t.Fatalf("interval sets wrong: %+v", ivs)
+	}
+	if diff := ivs[0].Hi - 0.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("breakpoint at %g, want 0.5", ivs[0].Hi)
+	}
+	utk1, err := UTK1(data, 0.2, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(utk1) != 2 || utk1[0] != 0 || utk1[1] != 1 {
+		t.Fatalf("UTK1 = %v", utk1)
+	}
+}
+
+func TestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(20)
+		data := randomData2D(rng, n)
+		lo := 0.1 + rng.Float64()*0.5
+		hi := lo + 0.05 + rng.Float64()*0.3
+		if hi > 0.99 {
+			hi = 0.99
+		}
+		k := 1 + rng.Intn(4)
+		r, err := geom.NewBox([]float64{lo}, []float64{hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracle.UTK1(data, r, k)
+		got, err := UTK1(data, lo, hi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d n=%d k=%d: sweep %v != oracle %v", trial, n, k, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sweep %v != oracle %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestIntervalsPartitionAndProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		data := randomData2D(rng, 200)
+		const lo, hi = 0.2, 0.7
+		k := 1 + rng.Intn(5)
+		ivs, err := UTK2(data, lo, hi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Intervals must tile [lo, hi] in order without gaps.
+		if ivs[0].Lo != lo || ivs[len(ivs)-1].Hi != hi {
+			t.Fatalf("trial %d: endpoints wrong: %+v", trial, ivs)
+		}
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Lo != ivs[i-1].Hi {
+				t.Fatalf("trial %d: gap between intervals %d and %d", trial, i-1, i)
+			}
+			if equalInts(ivs[i].TopK, ivs[i-1].TopK) {
+				t.Fatalf("trial %d: adjacent intervals share a set (should be merged)", trial)
+			}
+		}
+		// Brute-force probes inside random intervals.
+		for s := 0; s < 100; s++ {
+			iv := ivs[rng.Intn(len(ivs))]
+			w := iv.Lo + (iv.Hi-iv.Lo)*(0.1+0.8*rng.Float64())
+			want := oracle.TopKAt(data, []float64{w}, k)
+			if !equalInts(iv.TopK, want) {
+				t.Fatalf("trial %d: interval [%g,%g] claims %v, probe at %g gives %v",
+					trial, iv.Lo, iv.Hi, iv.TopK, w, want)
+			}
+		}
+	}
+}
+
+func TestSkybandFilter2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		data := randomData2D(rng, 120)
+		k := 1 + rng.Intn(4)
+		got := skybandFilter(data, k)
+		inGot := map[int]bool{}
+		for _, id := range got {
+			inGot[id] = true
+		}
+		for i := range data {
+			cnt := 0
+			for j := range data {
+				if i != j && geom.Dominates(data[j], data[i]) {
+					cnt++
+				}
+			}
+			if (cnt < k) != inGot[i] {
+				t.Fatalf("trial %d: record %d with %d dominators: filter says %v",
+					trial, i, cnt, inGot[i])
+			}
+		}
+	}
+}
+
+func TestDuplicateRecords(t *testing.T) {
+	data := [][]float64{{5, 5}, {5, 5}, {9, 1}}
+	ivs, err := UTK2(data, 0.3, 0.6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range ivs {
+		if len(iv.TopK) != 2 {
+			t.Fatalf("duplicate handling wrong: %+v", ivs)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package kspr re-implements the building block the paper's baselines use: a
+// constrained monochromatic reverse top-k query in the style of Tang et
+// al.'s kSPR (SIGMOD'17). Given a focal record p, a competitor set, a query
+// region R, and k, it identifies the partitions of R where p ranks within
+// the top k — the cells of the competitor half-space arrangement covered by
+// fewer than k half-spaces.
+//
+// Two standard prunings keep the arrangement small: competitor half-spaces
+// that miss R entirely are dropped, and half-spaces that cover R entirely
+// are folded into a base count without splitting anything. The early-exit
+// mode (for UTK1 verification) aborts as soon as every cell reaches count k,
+// since counts only grow.
+package kspr
+
+import (
+	"sort"
+
+	"repro/internal/arrangement"
+	"repro/internal/geom"
+)
+
+// Cell is a partition of R where the focal record ranks within the top k.
+type Cell struct {
+	// Constraints bound the cell.
+	Constraints []geom.Halfspace
+	// Interior is a strictly interior point.
+	Interior []float64
+	// Above holds the competitor indices (into the competitor slice) that
+	// outscore the focal record inside the cell.
+	Above []int
+}
+
+// Result of a reverse top-k evaluation.
+type Result struct {
+	// Cells are the qualifying partitions (empty ⇒ p never ranks top-k
+	// in R). In early-exit mode at most one cell is reported.
+	Cells []Cell
+}
+
+// ReverseTopK evaluates the constrained monochromatic reverse top-k of the
+// focal record against the competitors inside region r. Ties between the
+// focal record and a competitor are broken by the ids slice (lower wins),
+// which carries the competitors' dataset ids; focalID is the focal record's.
+// stats may be nil.
+func ReverseTopK(focal []float64, focalID int, competitors [][]float64, ids []int,
+	r *geom.Region, k int, earlyExit bool, stats *arrangement.Stats) (Result, error) {
+
+	dim := r.Dim()
+	var baseIdx []int // competitors outscoring the focal record on all of R
+	var straddling []geom.Halfspace
+	var straddleIdx []int
+	for i, q := range competitors {
+		h := geom.DualHalfspace(q, focal)
+		if h.IsTrivial() {
+			// Zero normal: the score difference is the constant −B over the
+			// whole domain. B < 0 means q always outscores the focal record;
+			// an exact tie (B ≈ 0) goes to the lower dataset id.
+			if h.B < -geom.Eps || (h.B <= geom.Eps && ids[i] < focalID) {
+				baseIdx = append(baseIdx, i)
+			}
+			continue
+		}
+		switch r.Classify(h) {
+		case geom.Inside:
+			baseIdx = append(baseIdx, i)
+		case geom.Outside:
+			// q never outscores the focal record in R.
+		default:
+			straddling = append(straddling, h)
+			straddleIdx = append(straddleIdx, i)
+		}
+	}
+	base := len(baseIdx)
+	if base >= k {
+		return Result{}, nil
+	}
+	arr, err := arrangement.New(dim, r.Halfspaces(), len(straddling)+1, stats)
+	if err != nil {
+		return Result{}, err
+	}
+	for j, h := range straddling {
+		arr.Insert(j, h)
+		if earlyExit && arr.MinCount()+base >= k {
+			return Result{}, nil
+		}
+	}
+	var out Result
+	for _, c := range arr.Cells() {
+		if base+c.Count() >= k {
+			continue
+		}
+		cell := Cell{Constraints: c.Constraints(), Interior: c.Interior()}
+		cell.Above = append(cell.Above, baseIdx...)
+		c.Covering().ForEach(func(j int) bool {
+			cell.Above = append(cell.Above, straddleIdx[j])
+			return true
+		})
+		sort.Ints(cell.Above)
+		out.Cells = append(out.Cells, cell)
+		if earlyExit {
+			return out, nil
+		}
+	}
+	return out, nil
+}

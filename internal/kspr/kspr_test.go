@@ -1,0 +1,207 @@
+package kspr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/oracle"
+)
+
+func mustBox(t *testing.T, lo, hi []float64) *geom.Region {
+	t.Helper()
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestReverseTopKAgainstSampling validates the qualifying cells against
+// brute-force rank probes at sampled weight vectors.
+func TestReverseTopKAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 25; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 10 + rng.Intn(8)
+		data := make([][]float64, n)
+		for i := range data {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.Float64() * 10
+			}
+			data[i] = p
+		}
+		lo := make([]float64, d-1)
+		hi := make([]float64, d-1)
+		for i := range lo {
+			lo[i] = 0.1
+			hi[i] = 0.1 + 0.4/float64(d-1)
+		}
+		r := mustBox(t, lo, hi)
+		k := 1 + rng.Intn(3)
+		focal := rng.Intn(n)
+		var comp [][]float64
+		var ids []int
+		for i := range data {
+			if i != focal {
+				comp = append(comp, data[i])
+				ids = append(ids, i)
+			}
+		}
+		res, err := ReverseTopK(data[focal], focal, comp, ids, r, k, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inside each reported cell, the focal record must rank ≤ k and the
+		// Above list must match brute force.
+		for _, c := range res.Cells {
+			w := c.Interior
+			above := 0
+			for i := range data {
+				if i == focal {
+					continue
+				}
+				if rankAbove(data[i], i, data[focal], focal, w) {
+					above++
+				}
+			}
+			if above >= k {
+				t.Fatalf("trial %d: focal ranks %d at cell interior, want < %d", trial, above+1, k)
+			}
+			if above != len(c.Above) {
+				t.Fatalf("trial %d: Above size %d, brute force %d", trial, len(c.Above), above)
+			}
+		}
+		// Sampled points where the focal ranks ≤ k must be covered by a cell.
+		for s := 0; s < 150; s++ {
+			w := make([]float64, d-1)
+			for i := range w {
+				w[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			above := 0
+			for i := range data {
+				if i != focal && rankAbove(data[i], i, data[focal], focal, w) {
+					above++
+				}
+			}
+			covered := false
+			for _, c := range res.Cells {
+				inside := true
+				for _, h := range c.Constraints {
+					if h.Eval(w) < -1e-7 {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					covered = true
+					break
+				}
+			}
+			if above < k && !covered {
+				// Tolerate samples within tolerance of a boundary.
+				if !nearTie(data, focal, w) {
+					t.Fatalf("trial %d: focal in top-%d at %v but no cell covers it", trial, k, w)
+				}
+			}
+			if above >= k && covered {
+				if !nearTie(data, focal, w) {
+					t.Fatalf("trial %d: focal outside top-%d at %v but a cell covers it", trial, k, w)
+				}
+			}
+		}
+	}
+}
+
+func TestEarlyExit(t *testing.T) {
+	// A record dominated by k others qualifies nowhere: early exit must
+	// report no cells.
+	data := [][]float64{{9, 9}, {8, 8}, {1, 1}}
+	r := mustBox(t, []float64{0.2}, []float64{0.6})
+	res, err := ReverseTopK(data[2], 2, [][]float64{data[0], data[1]}, []int{0, 1}, r, 2, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 0 {
+		t.Fatalf("dominated record should have no qualifying cells, got %d", len(res.Cells))
+	}
+	// The top record qualifies everywhere: early exit reports one cell.
+	res, err = ReverseTopK(data[0], 0, [][]float64{data[1], data[2]}, []int{1, 2}, r, 1, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("top record should qualify, got %d cells", len(res.Cells))
+	}
+}
+
+func TestAgreesWithOracleUnion(t *testing.T) {
+	// Union of per-record qualification over all records = UTK1 oracle.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		data := make([][]float64, 12)
+		for i := range data {
+			data[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		}
+		r := mustBox(t, []float64{0.15, 0.15}, []float64{0.35, 0.35})
+		k := 1 + rng.Intn(3)
+		var got []int
+		for focal := range data {
+			var comp [][]float64
+			var ids []int
+			for i := range data {
+				if i != focal {
+					comp = append(comp, data[i])
+					ids = append(ids, i)
+				}
+			}
+			res, err := ReverseTopK(data[focal], focal, comp, ids, r, k, true, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Cells) > 0 {
+				got = append(got, focal)
+			}
+		}
+		want := oracle.UTK1(data, r, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d k=%d: kSPR union %v != oracle %v", trial, k, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// rankAbove mirrors the library's tie-breaking: higher score wins, ties go
+// to the lower id.
+func rankAbove(q []float64, qid int, p []float64, pid int, w []float64) bool {
+	sq, sp := geom.Score(q, w), geom.Score(p, w)
+	if sq > sp+geom.Eps {
+		return true
+	}
+	if sq < sp-geom.Eps {
+		return false
+	}
+	return qid < pid
+}
+
+// nearTie reports whether any pair of records scores within tolerance at w,
+// which makes sampled rank counts unreliable near cell boundaries.
+func nearTie(data [][]float64, focal int, w []float64) bool {
+	sp := geom.Score(data[focal], w)
+	for i := range data {
+		if i == focal {
+			continue
+		}
+		if diff := geom.Score(data[i], w) - sp; diff > -1e-6 && diff < 1e-6 {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = oracle.TopKAt // keep oracle linked for helpers above

@@ -1,0 +1,106 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// The second equality duplicates the first; phase 1 must drop the
+	// redundant artificial row instead of reporting infeasible.
+	sol := Maximize([]float64{1, 0}, []Constraint{
+		{Coef: []float64{1, 1}, Rel: EQ, RHS: 1},
+		{Coef: []float64{2, 2}, Rel: EQ, RHS: 2},
+		{Coef: []float64{1, 0}, Rel: LE, RHS: 0.6},
+		{Coef: []float64{0, 1}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-0.6) > 1e-7 {
+		t.Fatalf("value = %g, want 0.6", sol.Value)
+	}
+}
+
+func TestZeroRHSDegenerate(t *testing.T) {
+	// Degenerate vertex at the origin; must not cycle under Bland's rule.
+	sol := Maximize([]float64{1, 1}, []Constraint{
+		{Coef: []float64{1, 0}, Rel: LE, RHS: 0},
+		{Coef: []float64{0, 1}, Rel: LE, RHS: 0},
+		{Coef: []float64{1, 0}, Rel: GE, RHS: 0},
+		{Coef: []float64{0, 1}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Optimal || math.Abs(sol.Value) > 1e-9 {
+		t.Fatalf("sol = %+v, want optimal 0", sol)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	sol := Maximize([]float64{1}, nil)
+	if sol.Status != Unbounded {
+		t.Fatalf("unconstrained max should be unbounded, got %v", sol.Status)
+	}
+	sol = Maximize([]float64{0}, nil)
+	if sol.Status != Optimal || sol.Value != 0 {
+		t.Fatalf("zero objective should be optimal 0, got %+v", sol)
+	}
+}
+
+func TestMaximizeNonnegBasics(t *testing.T) {
+	// max x + y s.t. x + 2y ≤ 4 with implicit x, y ≥ 0 → x = 4.
+	sol := MaximizeNonneg([]float64{1, 1}, []Constraint{
+		{Coef: []float64{1, 2}, Rel: LE, RHS: 4},
+	})
+	if sol.Status != Optimal || math.Abs(sol.Value-4) > 1e-7 {
+		t.Fatalf("sol = %+v, want 4", sol)
+	}
+	if sol.X[0] < -1e-9 || sol.X[1] < -1e-9 {
+		t.Fatalf("nonneg solution has negative component: %v", sol.X)
+	}
+	// Infeasible in nonneg mode: x ≤ −1 with x ≥ 0 implicit.
+	sol = MaximizeNonneg([]float64{1}, []Constraint{
+		{Coef: []float64{1}, Rel: LE, RHS: -1},
+	})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want Infeasible", sol.Status)
+	}
+}
+
+func TestMaximizeNonnegEqualitySimplex(t *testing.T) {
+	// The onion-layer shape: λ on the probability simplex, maximize a linear
+	// functional.
+	sol := MaximizeNonneg([]float64{3, 1, 2}, []Constraint{
+		{Coef: []float64{1, 1, 1}, Rel: EQ, RHS: 1},
+	})
+	if sol.Status != Optimal || math.Abs(sol.Value-3) > 1e-7 {
+		t.Fatalf("sol = %+v, want 3 at e1", sol)
+	}
+}
+
+func TestRelStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("relation strings wrong")
+	}
+	if Rel(42).String() == "" || Status(42).String() == "" {
+		t.Fatal("unknown values should still print")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+// TestLargeColumnCount exercises the column-heavy regime the onion-layer
+// dual uses: few rows, many variables.
+func TestLargeColumnCount(t *testing.T) {
+	const m = 500
+	obj := make([]float64, m)
+	row := make([]float64, m)
+	for i := range obj {
+		obj[i] = float64(i % 7)
+		row[i] = 1
+	}
+	sol := MaximizeNonneg(obj, []Constraint{{Coef: row, Rel: EQ, RHS: 1}})
+	if sol.Status != Optimal || math.Abs(sol.Value-6) > 1e-7 {
+		t.Fatalf("sol.Value = %g, want 6", sol.Value)
+	}
+}

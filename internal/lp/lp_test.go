@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaximizeSimple(t *testing.T) {
+	// max x + y  s.t. x ≤ 2, y ≤ 3, x + y ≤ 4, x,y ≥ 0
+	sol := Maximize([]float64{1, 1}, []Constraint{
+		{Coef: []float64{1, 0}, Rel: LE, RHS: 2},
+		{Coef: []float64{0, 1}, Rel: LE, RHS: 3},
+		{Coef: []float64{1, 1}, Rel: LE, RHS: 4},
+		{Coef: []float64{1, 0}, Rel: GE, RHS: 0},
+		{Coef: []float64{0, 1}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-4) > 1e-7 {
+		t.Fatalf("value = %g, want 4", sol.Value)
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// min 2x + 3y  s.t. x + y ≥ 10, x ≥ 0, y ≥ 0 ⇒ x = 10, y = 0, value 20.
+	sol := Minimize([]float64{2, 3}, []Constraint{
+		{Coef: []float64{1, 1}, Rel: GE, RHS: 10},
+		{Coef: []float64{1, 0}, Rel: GE, RHS: 0},
+		{Coef: []float64{0, 1}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-20) > 1e-7 {
+		t.Fatalf("value = %g, want 20", sol.Value)
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// Negative optimum requires genuinely free variables:
+	// max x  s.t. x ≤ −5.
+	sol := Maximize([]float64{1}, []Constraint{
+		{Coef: []float64{1}, Rel: LE, RHS: -5},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value+5) > 1e-7 {
+		t.Fatalf("value = %g, want −5", sol.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	sol := Maximize([]float64{1}, []Constraint{
+		{Coef: []float64{1}, Rel: GE, RHS: 2},
+		{Coef: []float64{1}, Rel: LE, RHS: 1},
+	})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want Infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	sol := Maximize([]float64{1}, []Constraint{
+		{Coef: []float64{1}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want Unbounded", sol.Status)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max y  s.t. x + y = 1, y ≤ 0.7, x ≥ 0.
+	sol := Maximize([]float64{0, 1}, []Constraint{
+		{Coef: []float64{1, 1}, Rel: EQ, RHS: 1},
+		{Coef: []float64{0, 1}, Rel: LE, RHS: 0.7},
+		{Coef: []float64{1, 0}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-0.7) > 1e-7 || math.Abs(sol.X[0]-0.3) > 1e-7 {
+		t.Fatalf("sol = %+v, want y = 0.7, x = 0.3", sol)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	sol := Minimize([]float64{-0.75, 150, -0.02, 6}, []Constraint{
+		{Coef: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+		{Coef: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+		{Coef: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		{Coef: []float64{1, 0, 0, 0}, Rel: GE, RHS: 0},
+		{Coef: []float64{0, 1, 0, 0}, Rel: GE, RHS: 0},
+		{Coef: []float64{0, 0, 1, 0}, Rel: GE, RHS: 0},
+		{Coef: []float64{0, 0, 0, 1}, Rel: GE, RHS: 0},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value+0.05) > 1e-6 {
+		t.Fatalf("value = %g, want −0.05", sol.Value)
+	}
+}
+
+// TestRandomFeasibility cross-checks the solver against rejection sampling:
+// for random small systems, if sampling finds a feasible point the solver
+// must not report Infeasible, and any optimum must satisfy all constraints.
+func TestRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nv := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(6)
+		cons := make([]Constraint, m)
+		for i := range cons {
+			c := Constraint{Coef: make([]float64, nv), RHS: rng.NormFloat64()}
+			for j := range c.Coef {
+				c.Coef[j] = rng.NormFloat64()
+			}
+			if rng.Intn(2) == 0 {
+				c.Rel = LE
+			} else {
+				c.Rel = GE
+			}
+			cons[i] = c
+		}
+		// Bound the problem to avoid Unbounded outcomes.
+		for j := 0; j < nv; j++ {
+			lo := make([]float64, nv)
+			lo[j] = 1
+			cons = append(cons, Constraint{Coef: lo, Rel: GE, RHS: -10})
+			hi := make([]float64, nv)
+			hi[j] = 1
+			cons = append(cons, Constraint{Coef: hi, Rel: LE, RHS: 10})
+		}
+		obj := make([]float64, nv)
+		for j := range obj {
+			obj[j] = rng.NormFloat64()
+		}
+		sol := Maximize(obj, cons)
+		sampleFeasible := false
+		var best float64 = math.Inf(-1)
+		for s := 0; s < 3000; s++ {
+			x := make([]float64, nv)
+			for j := range x {
+				x[j] = rng.Float64()*20 - 10
+			}
+			okPoint := true
+			for _, c := range cons {
+				v := 0.0
+				for j := range x {
+					v += c.Coef[j] * x[j]
+				}
+				if (c.Rel == LE && v > c.RHS) || (c.Rel == GE && v < c.RHS) {
+					okPoint = false
+					break
+				}
+			}
+			if okPoint {
+				sampleFeasible = true
+				v := 0.0
+				for j := range x {
+					v += obj[j] * x[j]
+				}
+				if v > best {
+					best = v
+				}
+			}
+		}
+		switch sol.Status {
+		case Infeasible:
+			if sampleFeasible {
+				t.Fatalf("trial %d: solver infeasible but sampling found a point", trial)
+			}
+		case Optimal:
+			for ci, c := range cons {
+				v := 0.0
+				for j := range sol.X {
+					v += c.Coef[j] * sol.X[j]
+				}
+				if (c.Rel == LE && v > c.RHS+1e-6) || (c.Rel == GE && v < c.RHS-1e-6) {
+					t.Fatalf("trial %d: optimum violates constraint %d", trial, ci)
+				}
+			}
+			if sampleFeasible && sol.Value < best-1e-6 {
+				t.Fatalf("trial %d: solver value %g below sampled %g", trial, sol.Value, best)
+			}
+		case Unbounded:
+			t.Fatalf("trial %d: unexpected unbounded with box bounds", trial)
+		}
+	}
+}
+
+func TestMismatchedCoefLength(t *testing.T) {
+	sol := Maximize([]float64{1, 1}, []Constraint{{Coef: []float64{1}, Rel: LE, RHS: 1}})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want Infeasible for malformed input", sol.Status)
+	}
+}

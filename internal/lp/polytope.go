@@ -1,0 +1,121 @@
+package lp
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// SlackEps is the minimum normalized interior slack for a half-space
+// intersection to count as full-dimensional. Cells thinner than this are
+// treated as measure-zero boundaries and discarded, which keeps arrangement
+// cells open, disjoint, and exhaustive up to boundaries.
+const SlackEps = 1e-7
+
+// InteriorPoint computes a point of ∩{A_i·w ≥ B_i} that maximizes the
+// minimum slack, normalized by each half-space's L2 norm (a Chebyshev-style
+// center). It returns the point, the achieved normalized slack, and whether
+// the intersection is full-dimensional (slack > SlackEps). Callers must
+// supply enough half-spaces to bound the region (arrangement cells always
+// include the query region's bounds).
+func InteriorPoint(dim int, hs []geom.Halfspace) (pt []float64, slack float64, ok bool) {
+	// Variables: w_0..w_{dim-1}, t. Maximize t subject to
+	// A_i·w − ||A_i||·t ≥ B_i and t ≤ 1 (cap for safety against unbounded t).
+	cons := make([]Constraint, 0, len(hs)+1)
+	for _, h := range hs {
+		norm := l2(h.A)
+		if norm < geom.Eps {
+			if h.B > geom.Eps {
+				return nil, 0, false // empty half-space ⇒ empty cell
+			}
+			continue // trivially true half-space
+		}
+		coef := make([]float64, dim+1)
+		copy(coef, h.A)
+		coef[dim] = -norm
+		cons = append(cons, Constraint{Coef: coef, Rel: GE, RHS: h.B})
+	}
+	capT := make([]float64, dim+1)
+	capT[dim] = 1
+	cons = append(cons, Constraint{Coef: capT, Rel: LE, RHS: 1})
+	obj := make([]float64, dim+1)
+	obj[dim] = 1
+	sol := Maximize(obj, cons)
+	if sol.Status != Optimal {
+		return nil, 0, false
+	}
+	slack = sol.X[dim]
+	if slack <= SlackEps {
+		return nil, slack, false
+	}
+	return sol.X[:dim:dim], slack, true
+}
+
+// OptimizeLinear maximizes (or minimizes) obj·w over ∩{A_i·w ≥ B_i}.
+func OptimizeLinear(dim int, hs []geom.Halfspace, obj []float64, maximize bool) (pt []float64, val float64, ok bool) {
+	cons := make([]Constraint, 0, len(hs))
+	for _, h := range hs {
+		if l2(h.A) < geom.Eps {
+			if h.B > geom.Eps {
+				return nil, 0, false
+			}
+			continue
+		}
+		cons = append(cons, Constraint{Coef: h.A, Rel: GE, RHS: h.B})
+	}
+	var sol Solution
+	if maximize {
+		sol = Maximize(obj, cons)
+	} else {
+		sol = Minimize(obj, cons)
+	}
+	if sol.Status != Optimal {
+		return nil, 0, false
+	}
+	return sol.X, sol.Value, true
+}
+
+// Extremes computes the minimum and maximum of h.Eval over the cell
+// ∩{A_i·w ≥ B_i}. It reports ok=false when the cell is empty or unbounded in
+// the direction of h (which cannot happen for cells nested in a bounded
+// query region).
+func Extremes(dim int, cell []geom.Halfspace, h geom.Halfspace) (mn, mx float64, minPt, maxPt []float64, ok bool) {
+	minPt, mnVal, ok1 := OptimizeLinear(dim, cell, h.A, false)
+	if !ok1 {
+		return 0, 0, nil, nil, false
+	}
+	maxPt, mxVal, ok2 := OptimizeLinear(dim, cell, h.A, true)
+	if !ok2 {
+		return 0, 0, nil, nil, false
+	}
+	return mnVal - h.B, mxVal - h.B, minPt, maxPt, true
+}
+
+// Feasible reports whether ∩{A_i·w ≥ B_i} has any point at all (not
+// necessarily full-dimensional).
+func Feasible(dim int, hs []geom.Halfspace) ([]float64, bool) {
+	cons := make([]Constraint, 0, len(hs))
+	for _, h := range hs {
+		if l2(h.A) < geom.Eps {
+			if h.B > geom.Eps {
+				return nil, false
+			}
+			continue
+		}
+		cons = append(cons, Constraint{Coef: h.A, Rel: GE, RHS: h.B})
+	}
+	obj := make([]float64, dim)
+	sol := Maximize(obj, cons)
+	if sol.Status != Optimal {
+		return nil, false
+	}
+	return sol.X, true
+}
+
+func l2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

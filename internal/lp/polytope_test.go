@@ -1,0 +1,114 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// boxHalfspaces builds the H-representation of [lo, hi].
+func boxHalfspaces(lo, hi []float64) []geom.Halfspace {
+	var hs []geom.Halfspace
+	for i := range lo {
+		a := make([]float64, len(lo))
+		a[i] = 1
+		hs = append(hs, geom.Halfspace{A: a, B: lo[i]})
+		b := make([]float64, len(lo))
+		b[i] = -1
+		hs = append(hs, geom.Halfspace{A: b, B: -hi[i]})
+	}
+	return hs
+}
+
+func TestInteriorPointBox(t *testing.T) {
+	hs := boxHalfspaces([]float64{0.1, 0.1}, []float64{0.3, 0.3})
+	pt, slack, ok := InteriorPoint(2, hs)
+	if !ok {
+		t.Fatal("box should have an interior point")
+	}
+	if slack < 0.09 {
+		t.Fatalf("max slack %g, want ~0.1 (half the side)", slack)
+	}
+	for _, h := range hs {
+		if h.Eval(pt) < SlackEps {
+			t.Fatalf("interior point %v too close to boundary", pt)
+		}
+	}
+}
+
+func TestInteriorPointEmpty(t *testing.T) {
+	hs := []geom.Halfspace{
+		{A: []float64{1}, B: 0.5},
+		{A: []float64{-1}, B: -0.4}, // x ≤ 0.4 contradicts x ≥ 0.5
+	}
+	if _, _, ok := InteriorPoint(1, hs); ok {
+		t.Fatal("empty intersection should have no interior point")
+	}
+}
+
+func TestInteriorPointDegenerate(t *testing.T) {
+	hs := []geom.Halfspace{
+		{A: []float64{1}, B: 0.5},
+		{A: []float64{-1}, B: -0.5}, // x == 0.5 exactly
+	}
+	if _, _, ok := InteriorPoint(1, hs); ok {
+		t.Fatal("lower-dimensional set should be rejected")
+	}
+}
+
+func TestInteriorPointTrivialHalfspaces(t *testing.T) {
+	hs := boxHalfspaces([]float64{0.1}, []float64{0.2})
+	hs = append(hs, geom.Halfspace{A: []float64{0}, B: -1}) // trivially true
+	if _, _, ok := InteriorPoint(1, hs); !ok {
+		t.Fatal("trivially-true half-space must not break feasibility")
+	}
+	hs = append(hs, geom.Halfspace{A: []float64{0}, B: 1}) // trivially false
+	if _, _, ok := InteriorPoint(1, hs); ok {
+		t.Fatal("trivially-false half-space must force infeasibility")
+	}
+}
+
+func TestOptimizeLinear(t *testing.T) {
+	hs := boxHalfspaces([]float64{0.1, 0.2}, []float64{0.4, 0.5})
+	pt, val, ok := OptimizeLinear(2, hs, []float64{1, 2}, true)
+	if !ok {
+		t.Fatal("bounded LP should solve")
+	}
+	if math.Abs(val-1.4) > 1e-7 {
+		t.Fatalf("max = %g, want 1.4", val)
+	}
+	if math.Abs(pt[0]-0.4) > 1e-7 || math.Abs(pt[1]-0.5) > 1e-7 {
+		t.Fatalf("argmax = %v, want [0.4 0.5]", pt)
+	}
+	_, val, ok = OptimizeLinear(2, hs, []float64{1, 2}, false)
+	if !ok || math.Abs(val-0.5) > 1e-7 {
+		t.Fatalf("min = %g (ok=%v), want 0.5", val, ok)
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	cell := boxHalfspaces([]float64{0, 0}, []float64{1, 1})
+	h := geom.Halfspace{A: []float64{1, 1}, B: 1} // x + y ≥ 1
+	mn, mx, minPt, maxPt, ok := Extremes(2, cell, h)
+	if !ok {
+		t.Fatal("extremes over box should solve")
+	}
+	if math.Abs(mn+1) > 1e-7 || math.Abs(mx-1) > 1e-7 {
+		t.Fatalf("extremes = [%g, %g], want [−1, 1]", mn, mx)
+	}
+	if math.Abs(h.Eval(minPt)-mn) > 1e-7 || math.Abs(h.Eval(maxPt)-mx) > 1e-7 {
+		t.Fatal("witness points should achieve the extremes")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	hs := boxHalfspaces([]float64{0.1}, []float64{0.2})
+	if _, ok := Feasible(1, hs); !ok {
+		t.Fatal("non-empty box should be feasible")
+	}
+	hs = append(hs, geom.Halfspace{A: []float64{1}, B: 0.9})
+	if _, ok := Feasible(1, hs); ok {
+		t.Fatal("contradictory constraints should be infeasible")
+	}
+}

@@ -1,0 +1,116 @@
+// Package oracle provides slow, exact reference implementations of the UTK
+// semantics for testing: a full-arrangement evaluation that enumerates every
+// ranking-distinct cell of the query region, brute-force top-k probes, and
+// Monte-Carlo sampling. It deliberately shares as little code as possible
+// with the optimized algorithms (only the geometric primitives and the
+// arrangement container), so agreement is meaningful evidence.
+package oracle
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/arrangement"
+	"repro/internal/geom"
+)
+
+// Cell is one ranking-homogeneous cell of the query region.
+type Cell struct {
+	Interior []float64
+	TopK     []int // dataset ids, sorted
+}
+
+// TopKAt returns the ids of the k highest-scoring records at w, breaking
+// score ties by ascending id. If k exceeds the dataset, all ids are
+// returned. The returned slice is sorted by id.
+func TopKAt(data [][]float64, w []float64, k int) []int {
+	type scored struct {
+		id    int
+		score float64
+	}
+	all := make([]scored, len(data))
+	for i, p := range data {
+		all[i] = scored{i, geom.Score(p, w)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		da := all[a].score - all[b].score
+		if da > geom.Eps || da < -geom.Eps {
+			return da > 0
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	ids := make([]int, k)
+	for i := 0; i < k; i++ {
+		ids[i] = all[i].id
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ExactCells partitions the region by every pairwise score-equality
+// hyperplane and evaluates the top-k set inside each full-dimensional cell.
+// Within a cell no pairwise comparison changes sign, so the top-k set is
+// constant there; the cells therefore realize every possible top-k set over
+// the region. Complexity is exponential in practice — use only on tiny
+// instances.
+func ExactCells(data [][]float64, r *geom.Region, k int) []Cell {
+	dim := r.Dim()
+	arr, err := arrangement.New(dim, r.Halfspaces(), 1, nil)
+	if err != nil {
+		return nil
+	}
+	id := 0
+	for i := range data {
+		for j := i + 1; j < len(data); j++ {
+			h := geom.DualHalfspace(data[i], data[j])
+			if h.IsTrivial() {
+				continue
+			}
+			arr.Insert(0, h)
+			id++
+		}
+	}
+	var out []Cell
+	for _, c := range arr.Cells() {
+		in := c.Interior()
+		out = append(out, Cell{Interior: in, TopK: TopKAt(data, in, k)})
+	}
+	return out
+}
+
+// UTK1 returns the exact UTK1 result (sorted dataset ids) by unioning the
+// top-k sets of every exact cell.
+func UTK1(data [][]float64, r *geom.Region, k int) []int {
+	seen := map[int]bool{}
+	for _, c := range ExactCells(data, r, k) {
+		for _, id := range c.TopK {
+			seen[id] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SamplePoints draws n weight vectors uniformly from a box region.
+func SamplePoints(r *geom.Region, n int, rng *rand.Rand) [][]float64 {
+	lo, hi := r.Bounds()
+	if lo == nil {
+		panic("oracle: SamplePoints requires a box region")
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		w := make([]float64, len(lo))
+		for j := range w {
+			w[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		out[i] = w
+	}
+	return out
+}

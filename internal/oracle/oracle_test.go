@@ -1,0 +1,127 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mustBox(t *testing.T, lo, hi []float64) *geom.Region {
+	t.Helper()
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTopKAt(t *testing.T) {
+	data := [][]float64{
+		{1, 1}, // score 1 everywhere
+		{3, 0}, // best at high w1
+		{0, 3}, // best at low w1
+	}
+	top := TopKAt(data, []float64{0.9}, 1)
+	if len(top) != 1 || top[0] != 1 {
+		t.Fatalf("top at w1=0.9 = %v, want [1]", top)
+	}
+	top = TopKAt(data, []float64{0.1}, 1)
+	if len(top) != 1 || top[0] != 2 {
+		t.Fatalf("top at w1=0.1 = %v, want [2]", top)
+	}
+	// k beyond the dataset returns everything.
+	top = TopKAt(data, []float64{0.5}, 10)
+	if len(top) != 3 {
+		t.Fatalf("k > n should return all records, got %v", top)
+	}
+}
+
+func TestTopKAtTieBreak(t *testing.T) {
+	data := [][]float64{{5, 5}, {5, 5}, {4, 4}}
+	top := TopKAt(data, []float64{0.3}, 1)
+	if len(top) != 1 || top[0] != 0 {
+		t.Fatalf("ties must break to the lower id, got %v", top)
+	}
+}
+
+func TestExactCellsCoverRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := make([][]float64, 10)
+	for i := range data {
+		data[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	r := mustBox(t, []float64{0.2, 0.2}, []float64{0.4, 0.4})
+	cells := ExactCells(data, r, 2)
+	if len(cells) == 0 {
+		t.Fatal("expected at least one cell")
+	}
+	// Every sampled point's brute-force top-k must appear among the cells
+	// containing it; strictly interior samples match exactly one cell set.
+	for _, w := range SamplePoints(r, 200, rng) {
+		want := TopKAt(data, w, 2)
+		found := false
+		for _, c := range cells {
+			same := len(c.TopK) == len(want)
+			if same {
+				for i := range want {
+					if c.TopK[i] != want[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no oracle cell carries the top-k %v of sample %v", want, w)
+		}
+	}
+}
+
+func TestUTK1Minimal(t *testing.T) {
+	// Hand-checkable instance: two strong records and one that never wins.
+	data := [][]float64{
+		{10, 0},
+		{0, 10},
+		{4, 4},
+	}
+	r := mustBox(t, []float64{0.45}, []float64{0.55})
+	// At w1 ∈ [0.45, 0.55]: record 0 scores 4.5–5.5, record 1 scores
+	// 5.5–4.5, record 2 scores 4 always. UTK1 for k=1 is {0, 1}.
+	got := UTK1(data, r, 1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("UTK1 = %v, want [0 1]", got)
+	}
+	got = UTK1(data, r, 2)
+	if len(got) != 2 {
+		t.Fatalf("UTK1 k=2 = %v, want the same two records", got)
+	}
+}
+
+func TestSamplePointsInside(t *testing.T) {
+	r := mustBox(t, []float64{0.1, 0.3}, []float64{0.2, 0.4})
+	rng := rand.New(rand.NewSource(3))
+	for _, w := range SamplePoints(r, 100, rng) {
+		if !r.Contains(w) {
+			t.Fatalf("sample %v outside region", w)
+		}
+	}
+}
+
+func TestSamplePointsPanicsOnPolytope(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-box region")
+		}
+	}()
+	hs := []geom.Halfspace{{A: []float64{1}, B: 0.1}, {A: []float64{-1}, B: -0.4}}
+	r, err := geom.NewPolytope(1, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SamplePoints(r, 1, rand.New(rand.NewSource(1)))
+}

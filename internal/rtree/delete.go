@@ -1,0 +1,121 @@
+package rtree
+
+import "math"
+
+// Delete removes one record with the given id located at point p. It
+// reports whether a matching entry was found. Underfull nodes are condensed
+// per Guttman's algorithm: their remaining entries are reinserted, and the
+// root is collapsed when it has a single child.
+func (t *Tree) Delete(p []float64, id int) bool {
+	if len(p) != t.dim {
+		return false
+	}
+	leaf, entryIdx, path := t.findLeaf(t.root, p, id, nil)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:entryIdx], leaf.entries[entryIdx+1:]...)
+	t.size--
+	t.condense(leaf, path)
+	// Collapse a non-leaf root with a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].Child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &Node{leaf: true}
+	}
+	return true
+}
+
+// findLeaf locates the leaf and entry index holding (p, id), returning the
+// root-to-parent path for condensation.
+func (t *Tree) findLeaf(n *Node, p []float64, id int, path []*Node) (*Node, int, []*Node) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.RecordID != id {
+				continue
+			}
+			match := true
+			for j := range p {
+				if math.Abs(e.Min[j]-p[j]) > 1e-12 {
+					match = false
+					break
+				}
+			}
+			if match {
+				return n, i, path
+			}
+		}
+		return nil, 0, nil
+	}
+	for _, e := range n.entries {
+		if !boxContains(e.Min, e.Max, p) {
+			continue
+		}
+		if leaf, idx, pp := t.findLeaf(e.Child, p, id, append(path, n)); leaf != nil {
+			return leaf, idx, pp
+		}
+	}
+	return nil, 0, nil
+}
+
+// condense walks the path bottom-up, removing underfull nodes and queueing
+// their entries for reinsertion, then refreshes ancestor MBBs.
+func (t *Tree) condense(n *Node, path []*Node) {
+	minFill := t.fanout / 4
+	if minFill < 1 {
+		minFill = 1
+	}
+	var orphans []Entry
+	node := n
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		if len(node.entries) < minFill {
+			// Remove node from its parent and queue its entries.
+			for j := range parent.entries {
+				if parent.entries[j].Child == node {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, collectLeafEntries(node)...)
+		} else {
+			// Refresh the parent entry's MBB.
+			for j := range parent.entries {
+				if parent.entries[j].Child == node {
+					parent.entries[j].Min, parent.entries[j].Max = nodeMBB(node)
+					break
+				}
+			}
+		}
+		node = parent
+	}
+	for _, e := range orphans {
+		t.size--
+		if err := t.Insert(e.Min, e.RecordID); err != nil {
+			// Cannot happen: the entry came from this tree.
+			panic("rtree: reinsert failed: " + err.Error())
+		}
+	}
+}
+
+// collectLeafEntries gathers every record entry below n.
+func collectLeafEntries(n *Node) []Entry {
+	if n.leaf {
+		return append([]Entry(nil), n.entries...)
+	}
+	var out []Entry
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.Child)...)
+	}
+	return out
+}
+
+func boxContains(mn, mx, p []float64) bool {
+	for i := range p {
+		if p[i] < mn[i]-1e-12 || p[i] > mx[i]+1e-12 {
+			return false
+		}
+	}
+	return true
+}

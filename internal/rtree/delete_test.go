@@ -1,0 +1,118 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := randomPoints(rng, 300, 2)
+	tree, err := BulkLoad(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Delete(pts[42], 42) {
+		t.Fatal("existing record should delete")
+	}
+	if tree.Delete(pts[42], 42) {
+		t.Fatal("double delete should fail")
+	}
+	if tree.Delete([]float64{2, 2}, 1) {
+		t.Fatal("wrong location should fail")
+	}
+	if tree.Delete([]float64{0.5}, 1) {
+		t.Fatal("wrong dimensionality should fail")
+	}
+	if tree.Len() != 299 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	ids := tree.Search([]float64{0, 0}, []float64{1, 1})
+	if len(ids) != 299 {
+		t.Fatalf("search returned %d", len(ids))
+	}
+	for _, id := range ids {
+		if id == 42 {
+			t.Fatal("deleted record still found")
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 200, 3)
+	tree, err := BulkLoad(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rng.Perm(len(pts))
+	for _, i := range order {
+		if !tree.Delete(pts[i], i) {
+			t.Fatalf("delete of %d failed", i)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tree.Len())
+	}
+	if got := tree.Search([]float64{0, 0, 0}, []float64{1, 1, 1}); len(got) != 0 {
+		t.Fatalf("empty tree search returned %v", got)
+	}
+	// The tree must remain usable after total deletion.
+	if err := tree.Insert([]float64{0.5, 0.5, 0.5}, 999); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Search([]float64{0, 0, 0}, []float64{1, 1, 1}); len(got) != 1 || got[0] != 999 {
+		t.Fatalf("insert after total deletion broken: %v", got)
+	}
+}
+
+// TestInterleavedMutations cross-checks a random insert/delete workload
+// against a map-based reference.
+func TestInterleavedMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tree, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[int][]float64{}
+	nextID := 0
+	for step := 0; step < 3000; step++ {
+		if len(ref) == 0 || rng.Float64() < 0.6 {
+			p := []float64{rng.Float64(), rng.Float64()}
+			if err := tree.Insert(p, nextID); err != nil {
+				t.Fatal(err)
+			}
+			ref[nextID] = p
+			nextID++
+		} else {
+			// Delete a random live id.
+			var id int
+			for id = range ref {
+				break
+			}
+			if !tree.Delete(ref[id], id) {
+				t.Fatalf("step %d: delete of live record %d failed", step, id)
+			}
+			delete(ref, id)
+		}
+		if step%500 == 499 {
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			got := tree.Search([]float64{0, 0}, []float64{1, 1})
+			if len(got) != len(ref) {
+				t.Fatalf("step %d: tree has %d records, reference %d", step, len(got), len(ref))
+			}
+			sort.Ints(got)
+			for _, id := range got {
+				if _, ok := ref[id]; !ok {
+					t.Fatalf("step %d: stale record %d", step, id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package skyband
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// regionFor builds a deterministic query box from a seed.
+func regionFor(seed int64, dim int) *geom.Region {
+	rng := rand.New(rand.NewSource(seed))
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for i := range lo {
+		lo[i] = 0.05 + rng.Float64()*0.4/float64(dim)
+		hi[i] = lo[i] + 0.05 + rng.Float64()*0.3/float64(dim)
+	}
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func recordFor(rng *rand.Rand, d int) []float64 {
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = rng.Float64() * 10
+	}
+	return p
+}
+
+// TestRDominanceIrreflexiveAntisymmetric: no record r-dominates itself, and
+// the relation is antisymmetric on any pair.
+func TestRDominanceIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		r := regionFor(seed, d-1)
+		p := recordFor(rng, d)
+		q := recordFor(rng, d)
+		if RDominates(p, p, r) {
+			return false
+		}
+		return !(RDominates(p, q, r) && RDominates(q, p, r))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRDominanceTransitive: p ≻ q and q ≻ s imply p ≻ s.
+func TestRDominanceTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		r := regionFor(seed, d-1)
+		// Construct a chain likely to dominate: perturb downward.
+		p := recordFor(rng, d)
+		q := make([]float64, d)
+		s := make([]float64, d)
+		for i := range p {
+			q[i] = p[i] - rng.Float64()
+			s[i] = q[i] - rng.Float64()
+		}
+		if RDominates(p, q, r) && RDominates(q, s, r) && !RDominates(p, s, r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRDominanceAgreesWithScoreSampling: whenever RDominates holds, the
+// dominator scores at least as high at every sampled vector of R.
+func TestRDominanceAgreesWithScoreSampling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(4)
+		r := regionFor(seed, d-1)
+		p := recordFor(rng, d)
+		q := recordFor(rng, d)
+		if !RDominates(p, q, r) {
+			return true
+		}
+		lo, hi := r.Bounds()
+		for s := 0; s < 50; s++ {
+			w := make([]float64, len(lo))
+			for i := range w {
+				w[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			if geom.Score(p, w) < geom.Score(q, w)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRSkybandShrinksWithRegion: a sub-region can only shrink the
+// r-skyband, never grow it (more pairs become r-comparable).
+func TestRSkybandShrinksWithRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(3)
+		data := randomData(rng, 150, d)
+		big := regionFor(int64(trial*2+1), d-1)
+		lo, hi := big.Bounds()
+		slo := make([]float64, len(lo))
+		shi := make([]float64, len(hi))
+		for i := range lo {
+			quarter := (hi[i] - lo[i]) / 4
+			slo[i] = lo[i] + quarter
+			shi[i] = hi[i] - quarter
+		}
+		small, err := geom.NewBox(slo, shi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(3)
+		bigCount := len(naiveRSkyband(data, big, k))
+		smallCount := len(naiveRSkyband(data, small, k))
+		if smallCount > bigCount {
+			t.Fatalf("trial %d: r-skyband grew when region shrank: %d > %d",
+				trial, smallCount, bigCount)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package skyband implements the filtering machinery of the paper: the
+// classic BBS k-skyband (Papadias et al.), the r-dominance relation of
+// Definition 1, the r-skyband of Definition 2 computed by a pivot-guided BBS
+// variant, and the r-dominance graph G of Section 4.1 with the
+// ancestor/descendant set algebra the refinement steps of RSA and JAA need.
+package skyband
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// RDominates reports whether record p r-dominates record q with respect to
+// region R: S(p) ≥ S(q) for every weight vector in R, with strict inequality
+// somewhere in R. Records with identical scores across the whole preference
+// domain do not r-dominate each other.
+func RDominates(p, q []float64, r *geom.Region) bool {
+	h := geom.DualHalfspace(p, q)
+	if h.IsTrivial() {
+		// Equal scores everywhere (up to the constant term): dominance holds
+		// only when p is strictly better by the constant, which for the dual
+		// transform means B < 0 strictly.
+		return h.B < -geom.Eps
+	}
+	// For a full-dimensional R, containment implies strict inequality at
+	// interior points, so Inside suffices for Definition 1.
+	return r.Classify(h) == geom.Inside
+}
+
+// bbsItem is a heap entry of the branch-and-bound search: either an R-tree
+// node (represented by its MBB top corner) or a concrete record.
+type bbsItem struct {
+	key  float64
+	node *rtree.Node
+	rec  []float64
+	id   int
+}
+
+type bbsHeap []bbsItem
+
+func (h bbsHeap) Len() int            { return len(h) }
+func (h bbsHeap) Less(i, j int) bool  { return h[i].key > h[j].key } // max-heap
+func (h bbsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bbsHeap) Push(x interface{}) { *h = append(*h, x.(bbsItem)) }
+func (h *bbsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// member is an accepted skyband record during BBS.
+type member struct {
+	rec []float64
+	id  int
+}
+
+// bbs runs the branch-and-bound skyline paradigm with a pluggable monotone
+// key and dominance test. key must never increase along any root-to-record
+// path (it is evaluated on MBB top corners, which coordinate-wise dominate
+// their contents), which guarantees that a record popped later cannot
+// dominate one popped earlier.
+func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func(p, q []float64) bool) []member {
+	var h bbsHeap
+	pushNode := func(n *rtree.Node) {
+		for _, e := range n.Entries() {
+			if n.Leaf() {
+				heap.Push(&h, bbsItem{key: key(e.Min), rec: e.Min, id: e.RecordID})
+			} else {
+				heap.Push(&h, bbsItem{key: key(e.Max), node: e.Child})
+			}
+		}
+	}
+	pushNode(t.Root())
+	var members []member
+	dominatedAtLeastK := func(p []float64) bool {
+		cnt := 0
+		for _, m := range members {
+			if dominates(m.rec, p) {
+				cnt++
+				if cnt >= k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(bbsItem)
+		if it.node != nil {
+			mx := nodeTopCorner(it.node)
+			if dominatedAtLeastK(mx) {
+				continue
+			}
+			pushNode(it.node)
+			continue
+		}
+		if dominatedAtLeastK(it.rec) {
+			continue
+		}
+		members = append(members, member{rec: it.rec, id: it.id})
+	}
+	return members
+}
+
+// nodeTopCorner returns the top corner of a node's MBB: the point with the
+// maximum value of its entries in every dimension, which coordinate-wise
+// dominates every record stored under the node.
+func nodeTopCorner(n *rtree.Node) []float64 {
+	es := n.Entries()
+	mx := append([]float64(nil), es[0].Max...)
+	for _, e := range es[1:] {
+		for i := range mx {
+			if e.Max[i] > mx[i] {
+				mx[i] = e.Max[i]
+			}
+		}
+	}
+	return mx
+}
+
+// KSkyband returns the ids of the records dominated by fewer than k others,
+// computed by BBS over the R-tree. The visiting key is the coordinate sum of
+// MBB top corners, a monotone metric equivalent to the distance-to-top-corner
+// order of the original algorithm.
+func KSkyband(t *rtree.Tree, k int) []int {
+	key := func(p []float64) float64 {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		return s
+	}
+	ms := bbs(t, k, key, geom.Dominates)
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		out[i] = m.id
+	}
+	return out
+}
+
+// RSkyband returns the ids of the records r-dominated by fewer than k
+// others, per Definition 2. The BBS visiting key is the score under the
+// pivot vector of R, which guides the search to likely r-skyband members
+// first (Section 4.1). A post-pass over the produced superset removes
+// records whose exact r-dominance count within the superset reaches k; the
+// transitivity of r-dominance makes counting within the superset exact.
+func RSkyband(t *rtree.Tree, r *geom.Region, k int) []int {
+	pivot := r.Pivot()
+	key := func(p []float64) float64 { return geom.Score(p, pivot) }
+	dom := func(p, q []float64) bool { return RDominates(p, q, r) }
+	ms := bbs(t, k, key, dom)
+	// Exact post-pass: pairwise counts inside the BBS superset.
+	keep := make([]int, 0, len(ms))
+	for i, mi := range ms {
+		cnt := 0
+		for j, mj := range ms {
+			if i == j {
+				continue
+			}
+			if RDominates(mj.rec, mi.rec, r) {
+				cnt++
+				if cnt >= k {
+					break
+				}
+			}
+		}
+		if cnt < k {
+			keep = append(keep, mi.id)
+		}
+	}
+	return keep
+}

@@ -1,0 +1,74 @@
+package utk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kspr"
+	"repro/internal/skyband"
+)
+
+// ReverseCell is one sub-region of a reverse top-k answer: inside it, the
+// focal record ranks within the top k.
+type ReverseCell struct {
+	// Interior is a weight vector strictly inside the cell.
+	Interior []float64
+	// Halfspaces bound the cell (including the query region's bounds).
+	Halfspaces []Halfspace
+	// Above holds the dataset ids outscoring the focal record inside the
+	// cell (its rank there is len(Above)+1), sorted ascending.
+	Above []int
+}
+
+// ReverseTopK answers the constrained monochromatic reverse top-k query for
+// one record (the kSPR building block of the paper's baselines, exposed as
+// a first-class query): it returns the partitions of the region where the
+// record belongs to the top-k set. An empty result means the record is
+// never in the top-k for any weight vector of the region — equivalently,
+// the record is outside the UTK1 result.
+func (ds *Dataset) ReverseTopK(id int, region *Region, k int) ([]ReverseCell, error) {
+	if id < 0 || id >= ds.Len() {
+		return nil, fmt.Errorf("utk: record id %d out of range [0, %d)", id, ds.Len())
+	}
+	if k <= 0 {
+		return nil, core.ErrBadK
+	}
+	if region == nil || region.Dim() != ds.Dim()-1 {
+		return nil, core.ErrDimMismatch
+	}
+	// The r-skyband members are the only records that can outscore the focal
+	// record at any weight vector where it still makes the top-k, so they
+	// are a sufficient (and tight) competitor set.
+	members := skyband.RSkyband(ds.tree, region.r, k)
+	comp := make([][]float64, 0, len(members))
+	ids := make([]int, 0, len(members))
+	for _, m := range members {
+		if m != id {
+			comp = append(comp, ds.records[m])
+			ids = append(ids, m)
+		}
+	}
+	res, err := kspr.ReverseTopK(ds.records[id], id, comp, ids, region.r, k, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReverseCell, len(res.Cells))
+	for i, c := range res.Cells {
+		hs := make([]Halfspace, len(c.Constraints))
+		for j, h := range c.Constraints {
+			hs[j] = Halfspace{Coef: append([]float64(nil), h.A...), Offset: h.B}
+		}
+		above := make([]int, len(c.Above))
+		for j, idx := range c.Above {
+			above[j] = ids[idx]
+		}
+		sort.Ints(above)
+		out[i] = ReverseCell{
+			Interior:   append([]float64(nil), c.Interior...),
+			Halfspaces: hs,
+			Above:      above,
+		}
+	}
+	return out, nil
+}

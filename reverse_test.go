@@ -1,0 +1,111 @@
+package utk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReverseTopKPaperExample(t *testing.T) {
+	ds := figure1Dataset(t)
+	r := figure1Region(t)
+	// p1 (id 0) is in the top-2 over most of R.
+	cells, err := ds.ReverseTopK(0, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("p1 should qualify somewhere in R")
+	}
+	for _, c := range cells {
+		if len(c.Above) >= 2 {
+			t.Fatalf("cell claims rank %d > 2: %+v", len(c.Above)+1, c)
+		}
+		// Verify by brute force at the interior.
+		top, err := ds.TopK(c.Interior, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, id := range top {
+			if id == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("brute force at %v excludes record 0 (top = %v)", c.Interior, top)
+		}
+	}
+	// p7 (id 6) never makes the top-2 in R (Figure 1 discussion).
+	cells, err = ds.ReverseTopK(6, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("p7 should never qualify, got %d cells", len(cells))
+	}
+	// p3 (id 2) is dominated and never qualifies either.
+	cells, err = ds.ReverseTopK(2, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("p3 should never qualify, got %d cells", len(cells))
+	}
+}
+
+func TestReverseTopKConsistentWithUTK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	data := make([][]float64, 60)
+	for i := range data {
+		data[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	ds, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBoxRegion([]float64{0.15, 0.15}, []float64{0.4, 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	res, err := ds.UTK1(Query{K: k, Region: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inUTK := map[int]bool{}
+	for _, id := range res.Records {
+		inUTK[id] = true
+	}
+	// A record qualifies somewhere iff it is in the UTK1 result.
+	for id := 0; id < ds.Len(); id++ {
+		cells, err := ds.ReverseTopK(id, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (len(cells) > 0) != inUTK[id] {
+			t.Fatalf("record %d: reverse top-k cells %d, UTK1 membership %v",
+				id, len(cells), inUTK[id])
+		}
+	}
+}
+
+func TestReverseTopKValidation(t *testing.T) {
+	ds := figure1Dataset(t)
+	r := figure1Region(t)
+	if _, err := ds.ReverseTopK(-1, r, 2); err == nil {
+		t.Fatal("negative id should fail")
+	}
+	if _, err := ds.ReverseTopK(99, r, 2); err == nil {
+		t.Fatal("out-of-range id should fail")
+	}
+	if _, err := ds.ReverseTopK(0, r, 0); err == nil {
+		t.Fatal("k = 0 should fail")
+	}
+	bad, err := NewBoxRegion([]float64{0.1}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ReverseTopK(0, bad, 2); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}

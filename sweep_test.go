@@ -1,0 +1,81 @@
+package utk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSweep2DAlgorithmMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	data := make([][]float64, 800)
+	for i := range data {
+		data[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	ds, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := NewBoxRegion([]float64{0.3}, []float64{0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 4, 9} {
+		def, err := ds.UTK1(Query{K: k, Region: region})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := ds.UTK1(Query{K: k, Region: region, Algorithm: AlgoSweep2D})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(def.Records) != len(sw.Records) {
+			t.Fatalf("k=%d: sweep %v != RSA %v", k, sw.Records, def.Records)
+		}
+		for i := range def.Records {
+			if def.Records[i] != sw.Records[i] {
+				t.Fatalf("k=%d: sweep %v != RSA %v", k, sw.Records, def.Records)
+			}
+		}
+		// UTK2: every sweep cell interior must agree with a fresh TopK probe,
+		// and the partition/unique-set stats must be consistent.
+		res2, err := ds.UTK2(Query{K: k, Region: region, Algorithm: AlgoSweep2D})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Stats.Partitions != len(res2.Cells) || res2.Stats.UniqueTopKSets > res2.Stats.Partitions {
+			t.Fatalf("stats inconsistent: %+v", res2.Stats)
+		}
+		for _, c := range res2.Cells {
+			top, err := ds.TopK(c.Interior, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(top) != len(c.TopK) {
+				t.Fatalf("cell %v vs probe %v", c.TopK, top)
+			}
+			for i := range top {
+				if top[i] != c.TopK[i] {
+					t.Fatalf("cell %v vs probe %v at %v", c.TopK, top, c.Interior)
+				}
+			}
+		}
+		// CellAt must work on sweep cells too.
+		if c := res2.CellAt([]float64{0.45}); c == nil {
+			t.Fatal("CellAt inside the interval returned nil")
+		}
+		if c := res2.CellAt([]float64{0.9}); c != nil {
+			t.Fatal("CellAt outside the interval should return nil")
+		}
+	}
+}
+
+func TestSweep2DRequires2D(t *testing.T) {
+	ds := figure1Dataset(t) // 3 attributes
+	r := figure1Region(t)
+	if _, err := ds.UTK1(Query{K: 2, Region: r, Algorithm: AlgoSweep2D}); err == nil {
+		t.Fatal("sweep on 3-attribute data should fail")
+	}
+	if _, err := ds.UTK2(Query{K: 2, Region: r, Algorithm: AlgoSweep2D}); err == nil {
+		t.Fatal("sweep UTK2 on 3-attribute data should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package utk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The paper's Section 6 observes that every algorithm in this library works
+// unchanged for any scoring function that is (i) monotone in the data
+// attributes and (ii) linear in the weights — that is, any score of the form
+// S(p) = Σ w_i·f_i(p_i) with non-decreasing f_i. Because the weights enter
+// linearly, such scoring reduces to plain weighted sums over the transformed
+// records f(p); the helpers below perform that reduction so the general
+// class is available through the ordinary Dataset API.
+
+// MonotoneTransform is a non-decreasing per-attribute function.
+type MonotoneTransform func(float64) float64
+
+// PowerTransform returns the transform x ↦ x^p for p > 0, which realizes the
+// weighted L_p-norm family of scoring functions the paper cites
+// (Σ w_i·x_i^p ranks identically to the weighted L_p norm).
+func PowerTransform(p float64) (MonotoneTransform, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("utk: power transform needs p > 0, got %g", p)
+	}
+	return func(x float64) float64 {
+		if x < 0 {
+			return -math.Pow(-x, p) // keep monotonicity for negative inputs
+		}
+		return math.Pow(x, p)
+	}, nil
+}
+
+// LogTransform is the transform x ↦ log(1 + x), monotone on x ≥ 0; useful
+// for heavy-tailed attributes.
+func LogTransform(x float64) float64 {
+	return math.Log1p(x)
+}
+
+// TransformRecords applies one monotone transform per attribute and returns
+// the transformed records, ready for NewDataset. A nil entry leaves its
+// attribute unchanged. UTK queries on the transformed dataset implement the
+// generalized scoring S(p) = Σ w_i·f_i(p_i) exactly.
+func TransformRecords(records [][]float64, fns []MonotoneTransform) ([][]float64, error) {
+	if len(records) == 0 {
+		return nil, errors.New("utk: no records to transform")
+	}
+	d := len(records[0])
+	if len(fns) != d {
+		return nil, fmt.Errorf("utk: %d transforms for %d attributes", len(fns), d)
+	}
+	out := make([][]float64, len(records))
+	for i, rec := range records {
+		if len(rec) != d {
+			return nil, fmt.Errorf("utk: record %d has %d attributes, want %d", i, len(rec), d)
+		}
+		row := make([]float64, d)
+		for j, v := range rec {
+			if fns[j] == nil {
+				row[j] = v
+				continue
+			}
+			row[j] = fns[j](v)
+		}
+		out[i] = row
+	}
+	// Monotonicity sanity check on the observed values: for each attribute,
+	// sorting by raw value must not reverse any transformed pair. This
+	// catches accidentally decreasing transforms, which would silently break
+	// every dominance-based filter.
+	for j := 0; j < d; j++ {
+		if fns[j] == nil {
+			continue
+		}
+		for i := 1; i < len(records); i++ {
+			a, b := records[i-1][j], records[i][j]
+			fa, fb := out[i-1][j], out[i][j]
+			if (a < b && fa > fb) || (a > b && fa < fb) {
+				return nil, fmt.Errorf("utk: transform for attribute %d is not monotone", j)
+			}
+		}
+	}
+	return out, nil
+}

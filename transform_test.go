@@ -1,0 +1,150 @@
+package utk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPowerTransform(t *testing.T) {
+	f, err := PowerTransform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(3) != 9 || f(0) != 0 {
+		t.Fatal("square transform wrong")
+	}
+	if f(-2) != -4 {
+		t.Fatal("negative inputs must stay monotone")
+	}
+	if _, err := PowerTransform(0); err == nil {
+		t.Fatal("p = 0 should fail")
+	}
+	if _, err := PowerTransform(-1); err == nil {
+		t.Fatal("negative p should fail")
+	}
+}
+
+func TestTransformRecordsValidation(t *testing.T) {
+	if _, err := TransformRecords(nil, nil); err == nil {
+		t.Fatal("empty records should fail")
+	}
+	if _, err := TransformRecords([][]float64{{1, 2}}, []MonotoneTransform{nil}); err == nil {
+		t.Fatal("transform count mismatch should fail")
+	}
+	decreasing := func(x float64) float64 { return -x }
+	if _, err := TransformRecords([][]float64{{1, 2}, {3, 4}},
+		[]MonotoneTransform{decreasing, nil}); err == nil {
+		t.Fatal("non-monotone transform should be rejected")
+	}
+	out, err := TransformRecords([][]float64{{1, 4}, {2, 9}},
+		[]MonotoneTransform{nil, math.Sqrt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 1 || out[0][1] != 2 || out[1][1] != 3 {
+		t.Fatalf("transform output wrong: %v", out)
+	}
+}
+
+// TestGeneralizedScoringUTK1 validates the Section 6 reduction: a UTK1 query
+// over squared attributes must equal brute force under the generalized score
+// Σ w_i·x_i², and can differ from the plain-attribute answer.
+func TestGeneralizedScoringUTK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	data := make([][]float64, 30)
+	for i := range data {
+		data[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	square, err := PowerTransform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transformed, err := TransformRecords(data, []MonotoneTransform{square, square, square})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(transformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := NewBoxRegion([]float64{0.2, 0.2}, []float64{0.4, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	res, err := ds.UTK1(Query{K: k, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force over the generalized score at sampled weights: every
+	// sampled top-k set must be inside the UTK1 result.
+	in := map[int]bool{}
+	for _, id := range res.Records {
+		in[id] = true
+	}
+	for s := 0; s < 2000; s++ {
+		w := []float64{0.2 + rng.Float64()*0.2, 0.2 + rng.Float64()*0.2}
+		type scored struct {
+			id int
+			v  float64
+		}
+		all := make([]scored, len(data))
+		for i, p := range data {
+			v := w[0]*p[0]*p[0] + w[1]*p[1]*p[1] + (1-w[0]-w[1])*p[2]*p[2]
+			all[i] = scored{i, v}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+		for i := 0; i < k; i++ {
+			if !in[all[i].id] {
+				t.Fatalf("generalized top-%d member %d at %v missing from UTK1 %v",
+					k, all[i].id, w, res.Records)
+			}
+		}
+	}
+}
+
+// TestTransformChangesResult demonstrates that the generalized scoring is
+// genuinely different from plain scoring on suitable data.
+func TestTransformChangesResult(t *testing.T) {
+	// Record 1 wins on squared attributes (extreme values), record 2 on raw.
+	data := [][]float64{
+		{9, 1},
+		{6, 6},
+	}
+	region, err := NewBoxRegion([]float64{0.45}, []float64{0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := plain.UTK1(Query{K: 1, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	square, _ := PowerTransform(2)
+	tr, err := TransformRecords(data, []MonotoneTransform{square, square})
+	if err != nil {
+		t.Fatal(err)
+	}
+	squared, err := NewDataset(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := squared.UTK1(Query{K: 1, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain near w=(0.5, 0.5): record 1 scores 5, record 2 scores 6 → {1}.
+	if len(p1.Records) != 1 || p1.Records[0] != 1 {
+		t.Fatalf("plain UTK1 = %v, want [1]", p1.Records)
+	}
+	// Squared: record 0 scores 41, record 1 scores 36 → {0}.
+	if len(p2.Records) != 1 || p2.Records[0] != 0 {
+		t.Fatalf("squared UTK1 = %v, want [0]", p2.Records)
+	}
+}
