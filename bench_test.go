@@ -7,6 +7,7 @@ package utk
 // mapping). Dataset construction is cached across benchmarks.
 
 import (
+	"context"
 	"math/rand"
 
 	"fmt"
@@ -482,6 +483,114 @@ func BenchmarkSweep2D(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchEngineSetup builds a Dataset and an Engine over the default bench
+// workload for the cold/warm comparison. The engine cache is disabled so the
+// warm numbers measure graph reuse alone, not result caching.
+func benchEngineSetup(b *testing.B) (*Dataset, *Engine, *Region) {
+	b.Helper()
+	idx := benchIND(b, benchN, benchD)
+	ds, err := NewDataset(idx.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := ds.NewEngine(EngineConfig{MaxK: 2 * benchK, CacheEntries: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := benchBox(b, benchD-1, benchSigma)
+	lo, hi := gr.Bounds()
+	r, err := NewBoxRegion(lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, e, r
+}
+
+// BenchmarkEngineColdUTK1 is the amortization baseline: every query pays the
+// full Dataset.UTK1 pipeline, including the branch-and-bound filtering pass
+// over the whole R-tree.
+func BenchmarkEngineColdUTK1(b *testing.B) {
+	ds, _, r := benchEngineSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.UTK1(Query{K: benchK, Region: r}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarmUTK1 runs the same workload through an Engine with the
+// result cache disabled: every query is a cache miss, but filtering reuses
+// the construction-time candidate superset instead of rescanning the R-tree
+// — the build-once/query-many amortization this engine exists for.
+func BenchmarkEngineWarmUTK1(b *testing.B) {
+	_, e, r := benchEngineSetup(b)
+	ctx := context.Background()
+	if _, err := e.UTK1(ctx, Query{K: benchK, Region: r}); err != nil {
+		b.Fatal(err) // warm the per-depth sub-index
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.UTK1(ctx, Query{K: benchK, Region: r}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarmUTK2 is the UTK2 counterpart of the warm benchmark.
+func BenchmarkEngineWarmUTK2(b *testing.B) {
+	ds, e, r := benchEngineSetup(b)
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.UTK2(Query{K: benchK, Region: r}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := e.UTK2(ctx, Query{K: benchK, Region: r}); err != nil {
+			b.Fatal(err) // warm the per-depth sub-index
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.UTK2(ctx, Query{K: benchK, Region: r}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineHotUTK1 measures the cache-hit path: repeated identical
+// queries served straight from the LRU.
+func BenchmarkEngineHotUTK1(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	ds, err := NewDataset(idx.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := ds.NewEngine(EngineConfig{MaxK: 2 * benchK})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := benchBox(b, benchD-1, benchSigma)
+	lo, hi := gr.Bounds()
+	r, err := NewBoxRegion(lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := e.UTK1(ctx, Query{K: benchK, Region: r}); err != nil {
+		b.Fatal(err) // populate the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.UTK1(ctx, Query{K: benchK, Region: r}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkParallelRSA measures the Workers option scaling.

@@ -1,0 +1,277 @@
+// Command utkserve exposes a utk.Engine over HTTP JSON: an amortized
+// query-serving daemon for repeated UTK traffic against one dataset.
+//
+//	utkserve -gen IND -n 100000 -d 4 -maxk 20 -addr :8080
+//	utkserve -data hotels.csv -maxk 10 -cache 1024 -timeout 2s
+//
+// Endpoints:
+//
+//	POST /utk1  {"k": 10, "region": {"lo": [0.2,0.2,0.2], "hi": [0.3,0.3,0.3]}}
+//	POST /utk2  same request body; returns the region partitioning
+//	GET  /stats engine counters (cache hits/misses, in-flight, superset size)
+//
+// A general convex region may be given instead of a box:
+//
+//	{"k": 5, "halfspaces": [{"coef": [1, 1], "offset": 0.3}, ...]}
+//
+// CSV input is one record per line, numeric fields only; higher values are
+// better in every column.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath = flag.String("data", "", "CSV file of numeric records (one per line)")
+		gen      = flag.String("gen", "", "generate a dataset instead: IND, COR, ANTI, HOTEL, HOUSE, NBA")
+		n        = flag.Int("n", 100000, "generated dataset cardinality")
+		d        = flag.Int("d", 4, "generated dataset dimensionality (synthetic kinds only)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		maxK     = flag.Int("maxk", 20, "largest top-k depth the engine serves")
+		cache    = flag.Int("cache", utk.DefaultEngineCacheEntries, "LRU result-cache entries (negative disables)")
+		workers  = flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-query deadline (0 = none)")
+	)
+	flag.Parse()
+
+	records, err := loadRecords(*dataPath, *gen, *n, *d, *seed)
+	if err != nil {
+		fail(err)
+	}
+	ds, err := utk.NewDataset(records)
+	if err != nil {
+		fail(err)
+	}
+	engine, err := ds.NewEngine(utk.EngineConfig{
+		MaxK:         *maxK,
+		CacheEntries: *cache,
+		Workers:      *workers,
+		QueryTimeout: *timeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	srv := &server{ds: ds, engine: engine}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/utk1", srv.handleUTK1)
+	mux.HandleFunc("/utk2", srv.handleUTK2)
+	mux.HandleFunc("/stats", srv.handleStats)
+	log.Printf("utkserve: %d records, %d attributes, maxk=%d, superset=%d, listening on %s",
+		ds.Len(), ds.Dim(), *maxK, engine.Stats().SupersetSize, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fail(err)
+	}
+}
+
+type server struct {
+	ds     *utk.Dataset
+	engine *utk.Engine
+}
+
+// queryRequest is the JSON body of /utk1 and /utk2.
+type queryRequest struct {
+	K      int `json:"k"`
+	Region *struct {
+		Lo []float64 `json:"lo"`
+		Hi []float64 `json:"hi"`
+	} `json:"region"`
+	Halfspaces []struct {
+		Coef   []float64 `json:"coef"`
+		Offset float64   `json:"offset"`
+	} `json:"halfspaces"`
+}
+
+type statsPayload struct {
+	Candidates     int     `json:"candidates"`
+	FilterMillis   float64 `json:"filter_ms"`
+	RefineMillis   float64 `json:"refine_ms"`
+	Partitions     int     `json:"partitions,omitempty"`
+	UniqueTopKSets int     `json:"unique_top_k_sets,omitempty"`
+}
+
+func statsPayloadFrom(st utk.Stats) statsPayload {
+	return statsPayload{
+		Candidates:     st.Candidates,
+		FilterMillis:   float64(st.FilterDuration.Microseconds()) / 1000,
+		RefineMillis:   float64(st.RefineDuration.Microseconds()) / 1000,
+		Partitions:     st.Partitions,
+		UniqueTopKSets: st.UniqueTopKSets,
+	}
+}
+
+func (s *server) parse(w http.ResponseWriter, r *http.Request) (utk.Query, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return utk.Query{}, false
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return utk.Query{}, false
+	}
+	var region *utk.Region
+	var err error
+	switch {
+	case req.Region != nil:
+		region, err = utk.NewBoxRegion(req.Region.Lo, req.Region.Hi)
+	case len(req.Halfspaces) > 0:
+		hs := make([]utk.Halfspace, len(req.Halfspaces))
+		for i, h := range req.Halfspaces {
+			hs[i] = utk.Halfspace{Coef: h.Coef, Offset: h.Offset}
+		}
+		region, err = utk.NewPolytopeRegion(s.ds.Dim()-1, hs)
+	default:
+		err = fmt.Errorf("provide region {lo, hi} or halfspaces")
+	}
+	if err != nil {
+		http.Error(w, "bad region: "+err.Error(), http.StatusBadRequest)
+		return utk.Query{}, false
+	}
+	return utk.Query{K: req.K, Region: region}, true
+}
+
+func (s *server) handleUTK1(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.parse(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.engine.UTK1(r.Context(), q)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"records":   res.Records,
+		"cache_hit": res.CacheHit,
+		"stats":     statsPayloadFrom(res.Stats),
+	})
+}
+
+func (s *server) handleUTK2(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.parse(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.engine.UTK2(r.Context(), q)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	type cellPayload struct {
+		TopK     []int     `json:"top_k"`
+		Interior []float64 `json:"interior"`
+	}
+	cells := make([]cellPayload, len(res.Cells))
+	for i, c := range res.Cells {
+		cells[i] = cellPayload{TopK: c.TopK, Interior: c.Interior}
+	}
+	writeJSON(w, map[string]any{
+		"cells":     cells,
+		"cache_hit": res.CacheHit,
+		"stats":     statsPayloadFrom(res.Stats),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	writeJSON(w, map[string]any{
+		"queries":       st.Queries,
+		"hits":          st.Hits,
+		"misses":        st.Misses,
+		"shared":        st.Shared,
+		"evictions":     st.Evictions,
+		"rejected":      st.Rejected,
+		"in_flight":     st.InFlight,
+		"cache_entries": st.CacheEntries,
+		"superset_size": st.SupersetSize,
+		"max_k":         st.MaxK,
+		"workers":       st.Workers,
+	})
+}
+
+func queryError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("utkserve: write response: %v", err)
+	}
+}
+
+func loadRecords(path, gen string, n, d int, seed int64) ([][]float64, error) {
+	if path != "" {
+		return readCSV(path)
+	}
+	switch gen {
+	case "HOTEL":
+		return dataset.Hotel(n, seed), nil
+	case "HOUSE":
+		return dataset.House(n, seed), nil
+	case "NBA":
+		return dataset.NBA(n, seed), nil
+	case "":
+		return nil, fmt.Errorf("provide -data or -gen")
+	default:
+		kind, err := dataset.ParseKind(gen)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.Synthetic(kind, n, d, seed), nil
+	}
+}
+
+func readCSV(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]float64
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		rec := make([]float64, len(fields))
+		for i, fld := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			rec[i] = v
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "utkserve:", err)
+	os.Exit(1)
+}

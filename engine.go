@@ -1,0 +1,210 @@
+package utk
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// EngineConfig tunes a query-serving Engine.
+type EngineConfig struct {
+	// MaxK is the largest top-k depth the engine serves (required, positive).
+	// The engine's construction-time candidate superset is computed at this
+	// depth; queries with K ≤ MaxK reuse it instead of refiltering the whole
+	// dataset.
+	MaxK int
+	// CacheEntries bounds the LRU result cache. Zero selects
+	// DefaultEngineCacheEntries; negative values disable caching.
+	CacheEntries int
+	// Workers bounds the number of concurrently executing queries; values
+	// below 1 default to runtime.GOMAXPROCS(0).
+	Workers int
+	// QueryTimeout, when positive, is the deadline applied to queries whose
+	// context carries none. It covers queueing and waiting on a deduplicated
+	// identical query; a refinement that already started runs to completion,
+	// but the waiting caller returns early.
+	QueryTimeout time.Duration
+}
+
+// DefaultEngineCacheEntries is the result-cache capacity used when
+// EngineConfig.CacheEntries is zero.
+const DefaultEngineCacheEntries = 256
+
+// Engine serves many UTK queries over one dataset, amortizing work across
+// queries: the r-dominance filtering reuses a construction-time candidate
+// superset, identical queries are answered from an LRU cache (with
+// single-flight deduplication of concurrent duplicates), and execution runs
+// on a bounded worker pool with per-query deadlines. It is safe for
+// concurrent use and returns the same answers as the direct Dataset.UTK1 and
+// Dataset.UTK2 calls.
+type Engine struct {
+	ds *Dataset
+	e  *engine.Engine
+}
+
+// EngineStats is a point-in-time snapshot of an Engine's counters.
+type EngineStats struct {
+	// Queries counts completed queries, however they were served.
+	Queries uint64
+	// Hits and Misses split result-cache lookups; Shared counts queries that
+	// coalesced onto another caller's identical in-flight computation.
+	Hits   uint64
+	Misses uint64
+	Shared uint64
+	// Evictions counts cache evictions; Rejected counts queries that gave up
+	// (deadline or cancellation) before obtaining a result.
+	Evictions uint64
+	Rejected  uint64
+	// InFlight is the number of computations executing right now.
+	InFlight int
+	// CacheEntries is the current cache population.
+	CacheEntries int
+	// SupersetSize is the size of the construction-time candidate superset —
+	// the pool every warm query filters instead of the full dataset.
+	SupersetSize int
+	// MaxK and Workers echo the effective configuration.
+	MaxK    int
+	Workers int
+}
+
+// NewEngine builds a serving engine over the dataset.
+func (ds *Dataset) NewEngine(cfg EngineConfig) (*Engine, error) {
+	entries := cfg.CacheEntries
+	switch {
+	case entries == 0:
+		entries = DefaultEngineCacheEntries
+	case entries < 0:
+		entries = 0
+	}
+	e, err := engine.New(ds.tree, ds.records, engine.Config{
+		MaxK:         cfg.MaxK,
+		CacheEntries: entries,
+		Workers:      cfg.Workers,
+		QueryTimeout: cfg.QueryTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ds: ds, e: e}, nil
+}
+
+// MaxK returns the largest top-k depth the engine serves.
+func (e *Engine) MaxK() int { return e.e.MaxK() }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	st := e.e.Stats()
+	return EngineStats{
+		Queries:      st.Queries,
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Shared:       st.Shared,
+		Evictions:    st.Evictions,
+		Rejected:     st.Rejected,
+		InFlight:     st.InFlight,
+		CacheEntries: st.CacheEntries,
+		SupersetSize: st.SupersetSize,
+		MaxK:         st.MaxK,
+		Workers:      st.Workers,
+	}
+}
+
+// UTK1 answers a UTK1 query through the engine. The query must use the
+// paper's algorithms (AlgoAuto or AlgoRSA); Query.Workers is ignored — the
+// engine's pool provides the concurrency.
+func (e *Engine) UTK1(ctx context.Context, q Query) (*UTK1Result, error) {
+	res, err := e.do(ctx, engine.UTK1, q)
+	if err != nil {
+		return nil, err
+	}
+	return &UTK1Result{
+		Records:  append([]int(nil), res.IDs...),
+		Stats:    statsFromCore(&res.Stats),
+		CacheHit: res.CacheHit,
+	}, nil
+}
+
+// UTK2 answers a UTK2 query through the engine, under the same constraints
+// as UTK1.
+func (e *Engine) UTK2(ctx context.Context, q Query) (*UTK2Result, error) {
+	res, err := e.do(ctx, engine.UTK2, q)
+	if err != nil {
+		return nil, err
+	}
+	out := utk2ResultFromCells(res.Cells, statsFromCore(&res.Stats))
+	out.CacheHit = res.CacheHit
+	return out, nil
+}
+
+// UTK1Batch answers many UTK1 queries concurrently (bounded by the engine's
+// worker pool), returning one result or error per query, index-aligned.
+func (e *Engine) UTK1Batch(ctx context.Context, qs []Query) ([]*UTK1Result, []error) {
+	results := make([]*UTK1Result, len(qs))
+	errs := e.batch(ctx, engine.UTK1, qs, func(i int, res *engine.Result) {
+		results[i] = &UTK1Result{
+			Records:  append([]int(nil), res.IDs...),
+			Stats:    statsFromCore(&res.Stats),
+			CacheHit: res.CacheHit,
+		}
+	})
+	return results, errs
+}
+
+// UTK2Batch answers many UTK2 queries concurrently, like UTK1Batch.
+func (e *Engine) UTK2Batch(ctx context.Context, qs []Query) ([]*UTK2Result, []error) {
+	results := make([]*UTK2Result, len(qs))
+	errs := e.batch(ctx, engine.UTK2, qs, func(i int, res *engine.Result) {
+		results[i] = utk2ResultFromCells(res.Cells, statsFromCore(&res.Stats))
+		results[i].CacheHit = res.CacheHit
+	})
+	return results, errs
+}
+
+func (e *Engine) batch(ctx context.Context, v engine.Variant, qs []Query, emit func(int, *engine.Result)) []error {
+	reqs := make([]engine.Request, 0, len(qs))
+	idx := make([]int, 0, len(qs)) // batch position -> original position
+	errs := make([]error, len(qs))
+	for i, q := range qs {
+		req, err := e.request(v, q)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		reqs = append(reqs, req)
+		idx = append(idx, i)
+	}
+	results, doErrs := e.e.DoBatch(ctx, reqs)
+	for bi, i := range idx {
+		if doErrs[bi] != nil {
+			errs[i] = doErrs[bi]
+			continue
+		}
+		emit(i, results[bi])
+	}
+	return errs
+}
+
+func (e *Engine) do(ctx context.Context, v engine.Variant, q Query) (*engine.Result, error) {
+	req, err := e.request(v, q)
+	if err != nil {
+		return nil, err
+	}
+	return e.e.Do(ctx, req)
+}
+
+func (e *Engine) request(v engine.Variant, q Query) (engine.Request, error) {
+	if q.Algorithm != AlgoAuto && q.Algorithm != AlgoRSA {
+		return engine.Request{}, errors.New("utk: the engine serves the paper's RSA/JAA algorithms only")
+	}
+	if err := q.validate(e.ds); err != nil {
+		return engine.Request{}, err
+	}
+	return engine.Request{
+		Variant: v,
+		K:       q.K,
+		Region:  q.Region.r,
+		Opts:    q.coreOptions(),
+	}, nil
+}

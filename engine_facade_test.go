@@ -1,0 +1,158 @@
+package utk
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func facadeFixture(t *testing.T) (*Dataset, *Region) {
+	t.Helper()
+	ds, err := NewDataset(dataset.Synthetic(dataset.IND, 1200, 3, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBoxRegion([]float64{0.2, 0.3}, []float64{0.27, 0.36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, r
+}
+
+func cellSets(cells []Cell) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = fmt.Sprint(c.TopK)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEngineFacadeMatchesDataset(t *testing.T) {
+	ds, r := facadeFixture(t)
+	e, err := ds.NewEngine(EngineConfig{MaxK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, k := range []int{1, 5, 10} {
+		q := Query{K: k, Region: r}
+		want1, err := ds.UTK1(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got1, err := e.UTK1(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got1.Records) != fmt.Sprint(want1.Records) {
+			t.Errorf("k=%d: engine UTK1 %v != dataset %v", k, got1.Records, want1.Records)
+		}
+		want2, err := ds.UTK2(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := e.UTK2(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(cellSets(got2.Cells)) != fmt.Sprint(cellSets(want2.Cells)) {
+			t.Errorf("k=%d: engine UTK2 cells diverged from dataset", k)
+		}
+	}
+
+	// Second round: everything above must now be a cache hit.
+	res, err := e.UTK1(ctx, Query{K: 5, Region: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("repeat UTK1 query was not served from the cache")
+	}
+	st := e.Stats()
+	if st.Hits == 0 || st.Misses != 6 {
+		t.Errorf("stats = %+v, want 6 misses and ≥1 hit", st)
+	}
+
+	if _, err := e.UTK1(ctx, Query{K: 5, Region: r, Algorithm: AlgoBaselineSK}); err == nil {
+		t.Error("engine accepted a baseline algorithm")
+	}
+	if _, err := e.UTK1(ctx, Query{K: 11, Region: r}); err == nil {
+		t.Error("engine accepted k above MaxK")
+	}
+}
+
+func TestEngineFacadeBatchAndConcurrency(t *testing.T) {
+	ds, r := facadeFixture(t)
+	e, err := ds.NewEngine(EngineConfig{MaxK: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qs := []Query{
+		{K: 2, Region: r},
+		{K: 4, Region: r},
+		{K: 2, Region: r}, // duplicate
+	}
+	results, errs := e.UTK1Batch(ctx, qs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch[%d]: %v", i, err)
+		}
+	}
+	if fmt.Sprint(results[0].Records) != fmt.Sprint(results[2].Records) {
+		t.Fatal("duplicate batch queries disagreed")
+	}
+
+	want, err := ds.UTK1(Query{K: 6, Region: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := e.UTK1(ctx, Query{K: 6, Region: r})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fmt.Sprint(got.Records) != fmt.Sprint(want.Records) {
+				t.Error("concurrent facade query diverged from dataset answer")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEffectiveWorkersStat pins the documented Workers semantics: honored by
+// UTK1, clamped to one worker by UTK2.
+func TestEffectiveWorkersStat(t *testing.T) {
+	ds, r := facadeFixture(t)
+	res1, err := ds.UTK1(Query{K: 5, Region: r, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.EffectiveWorkers != 3 {
+		t.Errorf("UTK1 EffectiveWorkers = %d, want 3", res1.Stats.EffectiveWorkers)
+	}
+	seq, err := ds.UTK1(Query{K: 5, Region: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats.EffectiveWorkers != 1 {
+		t.Errorf("sequential UTK1 EffectiveWorkers = %d, want 1", seq.Stats.EffectiveWorkers)
+	}
+	res2, err := ds.UTK2(Query{K: 5, Region: r, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.EffectiveWorkers != 1 {
+		t.Errorf("UTK2 EffectiveWorkers = %d, want 1 (JAA is sequential)", res2.Stats.EffectiveWorkers)
+	}
+}

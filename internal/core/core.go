@@ -29,8 +29,13 @@ type Options struct {
 	// identical to the sequential run: a verification verdict does not
 	// depend on which non-result candidates have been removed, because true
 	// top-k members are never removed and already force every
-	// disqualification. (JAA is inherently sequential over its global
-	// arrangement and ignores this setting.)
+	// disqualification.
+	//
+	// JAA is inherently sequential over its global arrangement: every
+	// recursion step extends one shared partitioning, so it always runs with
+	// a single worker regardless of this setting. Both algorithms record the
+	// worker count they actually ran with in Stats.EffectiveWorkers, so
+	// callers can tell a honored request from a clamped one.
 	Workers int
 }
 
@@ -49,6 +54,9 @@ type Stats struct {
 	// Partition invocations (JAA).
 	VerifyCalls    int
 	PartitionCalls int
+	// EffectiveWorkers is the number of workers the refinement actually used:
+	// max(1, Options.Workers) for RSA, always 1 for JAA (see Options.Workers).
+	EffectiveWorkers int
 	// Arrangement aggregates counters over every disposable arrangement.
 	Arrangement arrangement.Stats
 	// GraphBytes is the r-dominance graph footprint; PeakBytes adds the peak

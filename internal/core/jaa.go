@@ -63,6 +63,9 @@ func JAAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 	}()
 	n := g.Len()
 	st.Candidates = n
+	// JAA grows one shared global arrangement and is inherently sequential;
+	// Options.Workers is documented to be clamped to 1 here.
+	st.EffectiveWorkers = 1
 	if n == 0 {
 		return nil, nil
 	}

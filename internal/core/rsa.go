@@ -48,6 +48,7 @@ func RSAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 	}()
 	n := g.Len()
 	st.Candidates = n
+	st.EffectiveWorkers = 1 // trivial answers below never fan out
 	if n == 0 {
 		return nil, nil
 	}
@@ -68,6 +69,7 @@ func RSAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 
 	var verified bitset.Set
 	if opts.Workers > 1 {
+		st.EffectiveWorkers = opts.Workers
 		verified = rsaParallel(g, r, k, opts, st, order)
 	} else {
 		verified = rsaSequential(g, r, k, opts, st, order)

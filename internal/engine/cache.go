@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// fingerprint canonicalizes a query into a cache key. Two queries share a key
+// iff they ask for the same variant, the same k, the same ablation switches,
+// and geometrically the same region. Region canonicalization normalizes every
+// bounding half-space to unit length and sorts them, so the same polytope
+// described with rescaled or reordered half-spaces maps to one key; the float
+// bits are used exactly, so any numeric perturbation of the region is a miss
+// (never a false hit).
+func fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
+	hs := r.Halfspaces()
+	rows := make([][]byte, 0, len(hs))
+	for _, h := range hs {
+		rows = append(rows, canonicalHalfspace(h))
+	}
+	if len(rows) == 0 {
+		// Vertex-only regions (no H-representation): key on the vertex set.
+		for _, vert := range r.Vertices() {
+			row := make([]byte, 0, len(vert)*8)
+			for _, c := range vert {
+				row = appendFloat(row, c)
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return string(rows[a]) < string(rows[b]) })
+
+	key := make([]byte, 0, 16+len(rows)*(r.Dim()+1)*8)
+	key = append(key, byte(v), byte(k), byte(k>>8), byte(k>>16))
+	var flags byte
+	if opts.DisableDrill {
+		flags |= 1
+	}
+	if opts.LinearDrill {
+		flags |= 2
+	}
+	key = append(key, flags)
+	for _, row := range rows {
+		key = append(key, row...)
+	}
+	return string(key)
+}
+
+// canonicalHalfspace encodes A·w ≥ B scaled to ‖A‖₂ = 1 (the one positive
+// scaling that preserves the half-space). Trivial constraints (A = 0) keep
+// only the sign of B, which is all that matters for them.
+func canonicalHalfspace(h geom.Halfspace) []byte {
+	norm := 0.0
+	for _, a := range h.A {
+		norm += a * a
+	}
+	norm = math.Sqrt(norm)
+	out := make([]byte, 0, (len(h.A)+1)*8)
+	if norm <= geom.Eps {
+		sign := 0.0
+		if h.B > 0 {
+			sign = 1
+		} else if h.B < 0 {
+			sign = -1
+		}
+		return appendFloat(out, sign)
+	}
+	for _, a := range h.A {
+		out = appendFloat(out, a/norm)
+	}
+	return appendFloat(out, h.B/norm)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	if v == 0 {
+		v = 0 // collapse -0 and +0
+	}
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// lru is a non-concurrency-safe least-recently-used result cache; the Engine
+// serializes access under its mutex.
+type lru struct {
+	cap int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+func (c *lru) get(key string) (*Result, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) the entry and reports whether an older entry was
+// evicted to make room.
+func (c *lru) add(key string, res *Result) bool {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	if c.ll.Len() <= c.cap {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.m, oldest.Value.(*lruEntry).key)
+	return true
+}
+
+func (c *lru) len() int { return c.ll.Len() }

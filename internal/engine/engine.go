@@ -1,0 +1,428 @@
+// Package engine serves many UTK queries over one immutable dataset,
+// amortizing work across queries instead of paying the full pipeline per
+// call. Three mechanisms stack:
+//
+//  1. Build-once/query-many filtering: at construction the engine computes
+//     the classic k-skyband of the dataset at its maximum supported depth
+//     MaxK. Classic dominance implies r-dominance for every region, so that
+//     skyband is a valid candidate superset for any query region and any
+//     k ≤ MaxK, and (by transitivity of r-dominance) counting dominators
+//     within the superset stays exact. The first query at each distinct
+//     k < MaxK derives that k's own candidate list from the superset (a
+//     skyband of a skyband is the dataset's skyband, so this stays exact and
+//     never touches the full data again). Each query then filters its few
+//     thousand depth-relevant candidates with the tree-free sort-and-sweep
+//     (skyband.ScanGraph) instead of running branch-and-bound over the whole
+//     R-tree — the filter is the dominant share of cold-query latency, and
+//     skyband-shaped candidate sets defeat MBB pruning anyway.
+//  2. An LRU result cache keyed on a canonicalized (variant, k, region,
+//     ablation flags) fingerprint, with single-flight deduplication so
+//     concurrent identical queries compute once and share the result.
+//  3. A bounded worker pool with per-query deadlines, so a burst of queries
+//     degrades into an orderly queue instead of unbounded goroutines.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/skyband"
+)
+
+// Variant selects which UTK problem a request asks for.
+type Variant int
+
+const (
+	// UTK1 asks for the ids appearing in at least one top-k set (RSA).
+	UTK1 Variant = iota
+	// UTK2 asks for the full partitioning of the region (JAA).
+	UTK2
+)
+
+// Errors returned on invalid requests.
+var (
+	ErrKTooLarge = errors.New("engine: query k exceeds the engine's MaxK")
+	ErrNilRegion = errors.New("engine: query requires a region")
+)
+
+// errAborted marks a flight whose leader gave up (context expiry) before the
+// computation started; waiters react by electing a new leader.
+var errAborted = errors.New("engine: in-flight computation aborted before starting")
+
+// Config tunes an Engine.
+type Config struct {
+	// MaxK is the largest top-k depth the engine serves (required, positive).
+	// The construction-time skyband is computed at this depth.
+	MaxK int
+	// CacheEntries bounds the LRU result cache; 0 disables caching.
+	CacheEntries int
+	// Workers bounds the number of concurrently executing queries; values
+	// below 1 default to runtime.GOMAXPROCS(0).
+	Workers int
+	// QueryTimeout, when positive, is the deadline applied to queries whose
+	// context carries none. The deadline covers queueing for a worker slot
+	// and waiting on a deduplicated in-flight computation; a computation
+	// that already started runs to completion (the refinement algorithms
+	// have no cancellation points), but its waiter returns early.
+	QueryTimeout time.Duration
+}
+
+// Request is one UTK query addressed to an Engine.
+type Request struct {
+	Variant Variant
+	K       int
+	Region  *geom.Region
+	// Opts forwards the algorithm switches. Workers is ignored here — the
+	// engine's own pool provides the concurrency — and the ablation flags
+	// participate in the cache fingerprint.
+	Opts core.Options
+}
+
+// Result is the answer to a Request. Results may be shared between callers
+// through the cache and must be treated as immutable.
+type Result struct {
+	// IDs is the UTK1 answer (sorted dataset ids); nil for UTK2.
+	IDs []int
+	// Cells is the UTK2 answer; nil for UTK1.
+	Cells []core.CellResult
+	// Stats describes the computation that produced the result. Cache hits
+	// carry the stats of the original computation.
+	Stats core.Stats
+	// CacheHit reports whether this answer was served from the result cache.
+	CacheHit bool
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Queries counts completed queries, however they were served.
+	Queries uint64
+	// Hits and Misses split cache lookups; Shared counts queries that
+	// coalesced onto another caller's in-flight computation.
+	Hits   uint64
+	Misses uint64
+	Shared uint64
+	// Evictions counts LRU evictions; Rejected counts queries that gave up
+	// (deadline or cancellation) before obtaining a result.
+	Evictions uint64
+	Rejected  uint64
+	// InFlight is the number of computations executing right now.
+	InFlight int
+	// CacheEntries is the current cache population.
+	CacheEntries int
+	// SupersetSize is the construction-time skyband size — the candidate
+	// pool every warm query filters instead of the full dataset.
+	SupersetSize int
+	// MaxK and Workers echo the effective configuration.
+	MaxK    int
+	Workers int
+}
+
+// subIndex is the candidate list for one top-k depth: the classic k-skyband
+// members and their dataset ids.
+type subIndex struct {
+	recs [][]float64
+	ids  []int
+}
+
+// flight is one in-progress computation that concurrent identical queries
+// rendezvous on.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Engine serves UTK queries over one dataset. It is safe for concurrent use.
+type Engine struct {
+	cfg          Config
+	dim          int
+	supersetSize int
+
+	sem chan struct{} // worker slots
+
+	// idxMu guards the lazily-built per-depth sub-indexes. subs[MaxK] is the
+	// full candidate superset, built at construction.
+	idxMu sync.Mutex
+	subs  map[int]*subIndex
+
+	mu       sync.Mutex
+	cache    *lru
+	inflight map[string]*flight
+	queries  uint64
+	hits     uint64
+	misses   uint64
+	shared   uint64
+	evicted  uint64
+	rejected uint64
+	active   int
+}
+
+// New builds an engine over an indexed dataset. records must be the exact
+// collection the tree was built from; the engine keeps references to the
+// record slices but never mutates them.
+func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.MaxK <= 0 {
+		return nil, core.ErrBadK
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		dim:      t.Dim(),
+		sem:      make(chan struct{}, cfg.Workers),
+		inflight: make(map[string]*flight),
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = newLRU(cfg.CacheEntries)
+	}
+	// The k-skyband at MaxK is the one region-independent superset of every
+	// r-skyband the engine can be asked for.
+	ids := skyband.KSkyband(t, cfg.MaxK)
+	supRecs := make([][]float64, len(ids))
+	for i, id := range ids {
+		supRecs[i] = records[id]
+	}
+	e.supersetSize = len(ids)
+	e.subs = map[int]*subIndex{cfg.MaxK: {recs: supRecs, ids: append([]int(nil), ids...)}}
+	return e, nil
+}
+
+// indexFor returns the candidate list for depth k, deriving and caching it
+// from the superset on first use. Since the k-skyband of a k'-skyband
+// (k ≤ k') is the k-skyband of the underlying dataset, the derivation never
+// revisits the full data.
+func (e *Engine) indexFor(k int) *subIndex {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if s, ok := e.subs[k]; ok {
+		return s
+	}
+	base := e.subs[e.cfg.MaxK]
+	keep := skyband.ScanKSkyband(base.recs, k)
+	recs := make([][]float64, len(keep))
+	dsIDs := make([]int, len(keep))
+	for i, idx := range keep {
+		recs[i] = base.recs[idx]
+		dsIDs[i] = base.ids[idx]
+	}
+	s := &subIndex{recs: recs, ids: dsIDs}
+	e.subs[k] = s
+	return s
+}
+
+// SupersetSize returns the size of the construction-time candidate superset.
+func (e *Engine) SupersetSize() int { return e.supersetSize }
+
+// MaxK returns the largest supported top-k depth.
+func (e *Engine) MaxK() int { return e.cfg.MaxK }
+
+// Do answers one request, consulting the cache, deduplicating against
+// identical in-flight queries, and otherwise computing on a pooled worker.
+func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
+	if err := e.validate(req); err != nil {
+		return nil, err
+	}
+	if e.cfg.QueryTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+			defer cancel()
+		}
+	}
+	key := fingerprint(req.Variant, req.K, req.Region, req.Opts)
+
+	var fl *flight
+	for fl == nil {
+		e.mu.Lock()
+		if e.cache != nil {
+			if res, ok := e.cache.get(key); ok {
+				e.hits++
+				e.queries++
+				e.mu.Unlock()
+				hit := *res
+				hit.CacheHit = true
+				return &hit, nil
+			}
+		}
+		if other, ok := e.inflight[key]; ok {
+			e.mu.Unlock()
+			res, err := e.wait(ctx, other)
+			if errors.Is(err, errAborted) {
+				continue // the leader never started; elect a new one
+			}
+			return res, err
+		}
+		fl = &flight{done: make(chan struct{})}
+		e.inflight[key] = fl
+		e.mu.Unlock()
+	}
+
+	// The explicit pre-check keeps an already-expired context from racing a
+	// free worker slot in the select below.
+	acquired := false
+	if ctx.Err() == nil {
+		select {
+		case e.sem <- struct{}{}:
+			acquired = true
+		case <-ctx.Done():
+		}
+	}
+	if !acquired {
+		e.finish(key, fl, nil, errAborted)
+		e.mu.Lock()
+		e.rejected++
+		e.mu.Unlock()
+		return nil, ctx.Err()
+	}
+	e.mu.Lock()
+	e.active++
+	e.mu.Unlock()
+	res, err := e.compute(req)
+	e.mu.Lock()
+	e.active--
+	e.mu.Unlock()
+	<-e.sem
+	e.finish(key, fl, res, err)
+
+	e.mu.Lock()
+	e.misses++
+	e.queries++
+	e.mu.Unlock()
+	return res, err
+}
+
+// DoBatch answers a batch of requests concurrently (bounded by the worker
+// pool), returning one result or error per request, index-aligned.
+func (e *Engine) DoBatch(ctx context.Context, reqs []Request) ([]*Result, []error) {
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			results[i], errs[i] = e.Do(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Queries:      e.queries,
+		Hits:         e.hits,
+		Misses:       e.misses,
+		Shared:       e.shared,
+		Evictions:    e.evicted,
+		Rejected:     e.rejected,
+		InFlight:     e.active,
+		SupersetSize: e.supersetSize,
+		MaxK:         e.cfg.MaxK,
+		Workers:      e.cfg.Workers,
+	}
+	if e.cache != nil {
+		st.CacheEntries = e.cache.len()
+	}
+	return st
+}
+
+func (e *Engine) validate(req Request) error {
+	if req.K <= 0 {
+		return core.ErrBadK
+	}
+	if req.K > e.cfg.MaxK {
+		return ErrKTooLarge
+	}
+	if req.Region == nil {
+		return ErrNilRegion
+	}
+	if req.Region.Dim() != e.dim-1 {
+		return core.ErrDimMismatch
+	}
+	return nil
+}
+
+// compute is the warm query path: rebuild only the region-specific
+// r-dominance graph, filtering over the construction-time superset tree
+// instead of the whole dataset, then refine.
+func (e *Engine) compute(req Request) (*Result, error) {
+	st := &core.Stats{}
+	opts := req.Opts
+	opts.Workers = 0 // concurrency comes from the engine pool
+	start := time.Now()
+	sub := e.indexFor(req.K)
+	g := skyband.ScanGraph(sub.recs, sub.ids, req.Region, req.K)
+	st.FilterDuration = time.Since(start)
+	res := &Result{}
+	switch req.Variant {
+	case UTK1:
+		ids, err := core.RSAFromGraph(g, req.Region, req.K, opts, st)
+		if err != nil {
+			return nil, err
+		}
+		sort.Ints(ids)
+		res.IDs = ids
+	case UTK2:
+		cells, err := core.JAAFromGraph(g, req.Region, req.K, opts, st)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = cells
+	default:
+		return nil, errors.New("engine: unknown variant")
+	}
+	res.Stats = *st
+	return res, nil
+}
+
+// finish publishes the flight outcome, caches successes, and wakes waiters.
+func (e *Engine) finish(key string, fl *flight, res *Result, err error) {
+	fl.res, fl.err = res, err
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if err == nil && e.cache != nil {
+		if e.cache.add(key, res) {
+			e.evicted++
+		}
+	}
+	e.mu.Unlock()
+	close(fl.done)
+}
+
+// wait blocks until the deduplicated computation resolves or the caller's
+// context expires.
+func (e *Engine) wait(ctx context.Context, fl *flight) (*Result, error) {
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		e.mu.Lock()
+		e.rejected++
+		e.mu.Unlock()
+		return nil, ctx.Err()
+	}
+	if errors.Is(fl.err, errAborted) {
+		// Not an outcome: the caller re-elects a leader and will be counted
+		// by whatever path finally serves it.
+		return nil, fl.err
+	}
+	e.mu.Lock()
+	e.shared++
+	e.queries++
+	e.mu.Unlock()
+	return fl.res, fl.err
+}

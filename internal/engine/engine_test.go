@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+type testData struct {
+	recs [][]float64
+	tree *rtree.Tree
+}
+
+func buildData(t testing.TB, n, d int, seed int64) *testData {
+	t.Helper()
+	recs := dataset.Synthetic(dataset.IND, n, d, seed)
+	tree, err := rtree.BulkLoad(recs, rtree.DefaultFanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testData{recs: recs, tree: tree}
+}
+
+func box(t testing.TB, lo, hi []float64) *geom.Region {
+	t.Helper()
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// topKSets reduces a UTK2 answer to a comparable form: the sorted multiset
+// of its cells' top-k sets. Cell geometry may legitimately differ between
+// runs only in ordering, never in content.
+func topKSets(cells []core.CellResult) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = fmt.Sprint(c.TopK)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEngineMatchesDirect(t *testing.T) {
+	td := buildData(t, 2000, 3, 11)
+	e, err := New(td.tree, td.recs, Config{MaxK: 12, CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []*geom.Region{
+		box(t, []float64{0.2, 0.3}, []float64{0.25, 0.35}),
+		box(t, []float64{0.1, 0.1}, []float64{0.2, 0.15}),
+	}
+	for ri, r := range regions {
+		for _, k := range []int{1, 4, 12} {
+			wantIDs, _, err := core.RSA(td.tree, r, k, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Ints(wantIDs)
+			got, err := e.Do(context.Background(), Request{Variant: UTK1, K: k, Region: r})
+			if err != nil {
+				t.Fatalf("region %d k=%d: %v", ri, k, err)
+			}
+			if fmt.Sprint(got.IDs) != fmt.Sprint(wantIDs) {
+				t.Errorf("region %d k=%d: UTK1 mismatch\n got %v\nwant %v", ri, k, got.IDs, wantIDs)
+			}
+			if got.Stats.Candidates == 0 && len(wantIDs) > 0 {
+				t.Errorf("region %d k=%d: stats not populated", ri, k)
+			}
+
+			wantCells, _, err := core.JAA(td.tree, r, k, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := e.Do(context.Background(), Request{Variant: UTK2, K: k, Region: r})
+			if err != nil {
+				t.Fatalf("region %d k=%d: %v", ri, k, err)
+			}
+			if fmt.Sprint(topKSets(got2.Cells)) != fmt.Sprint(topKSets(wantCells)) {
+				t.Errorf("region %d k=%d: UTK2 cell multiset mismatch", ri, k)
+			}
+		}
+	}
+}
+
+func TestEngineCacheHitMiss(t *testing.T) {
+	td := buildData(t, 800, 3, 3)
+	e, err := New(td.tree, td.recs, Config{MaxK: 10, CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := box(t, []float64{0.2, 0.3}, []float64{0.25, 0.35})
+	base := Request{Variant: UTK1, K: 5, Region: r}
+
+	first, err := e.Do(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	second, err := e.Do(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical repeat query missed the cache")
+	}
+	if fmt.Sprint(second.IDs) != fmt.Sprint(first.IDs) {
+		t.Fatal("cache hit returned different ids")
+	}
+
+	// Perturbing the region or changing k or the variant must miss.
+	perturbed := box(t, []float64{0.2, 0.3}, []float64{0.25, 0.35 + 1e-9})
+	for name, req := range map[string]Request{
+		"perturbed region": {Variant: UTK1, K: 5, Region: perturbed},
+		"different k":      {Variant: UTK1, K: 6, Region: r},
+		"other variant":    {Variant: UTK2, K: 5, Region: r},
+		"ablation flag":    {Variant: UTK1, K: 5, Region: r, Opts: core.Options{DisableDrill: true}},
+	} {
+		res, err := e.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CacheHit {
+			t.Errorf("%s: unexpected cache hit", name)
+		}
+	}
+
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 5 {
+		t.Errorf("stats = %+v, want 1 hit / 5 misses", st)
+	}
+	if st.Queries != st.Hits+st.Misses+st.Shared {
+		t.Errorf("queries %d != hits+misses+shared %d", st.Queries, st.Hits+st.Misses+st.Shared)
+	}
+	if st.CacheEntries != 5 {
+		t.Errorf("cache entries = %d, want 5", st.CacheEntries)
+	}
+	if st.SupersetSize == 0 || st.SupersetSize > len(td.recs) {
+		t.Errorf("implausible superset size %d", st.SupersetSize)
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	td := buildData(t, 400, 3, 5)
+	e, err := New(td.tree, td.recs, Config{MaxK: 6, CacheEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := box(t, []float64{0.2, 0.3}, []float64{0.25, 0.35})
+	for k := 1; k <= 3; k++ {
+		if _, err := e.Do(ctx, Request{Variant: UTK1, K: k, Region: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Evictions != 1 || st.CacheEntries != 2 {
+		t.Errorf("evictions=%d entries=%d, want 1 and 2", st.Evictions, st.CacheEntries)
+	}
+	// k=1 was evicted: repeating it is a miss; k=3 is still resident.
+	res, err := e.Do(ctx, Request{Variant: UTK1, K: 1, Region: r})
+	if err != nil || res.CacheHit {
+		t.Errorf("evicted entry served from cache (err=%v)", err)
+	}
+	res, err = e.Do(ctx, Request{Variant: UTK1, K: 3, Region: r})
+	if err != nil || !res.CacheHit {
+		t.Errorf("resident entry missed the cache (err=%v)", err)
+	}
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	hs := []geom.Halfspace{
+		{A: []float64{1, 0}, B: 0.2},
+		{A: []float64{-1, 0}, B: -0.4},
+		{A: []float64{0, 1}, B: 0.1},
+		{A: []float64{0, -1}, B: -0.3},
+	}
+	r1, err := geom.NewPolytope(2, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same polytope: half-spaces reordered and scaled by powers of two.
+	scaled := []geom.Halfspace{
+		{A: []float64{0, 4}, B: 0.4},
+		{A: []float64{2, 0}, B: 0.4},
+		{A: []float64{0, -2}, B: -0.6},
+		{A: []float64{-8, 0}, B: -3.2},
+	}
+	r2, err := geom.NewPolytope(2, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := fingerprint(UTK1, 5, r1, core.Options{})
+	f2 := fingerprint(UTK1, 5, r2, core.Options{})
+	if f1 != f2 {
+		t.Error("equivalent regions produced different fingerprints")
+	}
+	if fingerprint(UTK2, 5, r1, core.Options{}) == f1 {
+		t.Error("variant not part of the fingerprint")
+	}
+	if fingerprint(UTK1, 6, r1, core.Options{}) == f1 {
+		t.Error("k not part of the fingerprint")
+	}
+	hs[0].B = 0.21
+	r3, err := geom.NewPolytope(2, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(UTK1, 5, r3, core.Options{}) == f1 {
+		t.Error("perturbed region shares the fingerprint")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	td := buildData(t, 200, 3, 7)
+	e, err := New(td.tree, td.recs, Config{MaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := box(t, []float64{0.2, 0.3}, []float64{0.25, 0.35})
+	if _, err := e.Do(ctx, Request{Variant: UTK1, K: 6, Region: r}); !errors.Is(err, ErrKTooLarge) {
+		t.Errorf("k > MaxK: got %v, want ErrKTooLarge", err)
+	}
+	if _, err := e.Do(ctx, Request{Variant: UTK1, K: 0, Region: r}); !errors.Is(err, core.ErrBadK) {
+		t.Errorf("k = 0: got %v, want ErrBadK", err)
+	}
+	if _, err := e.Do(ctx, Request{Variant: UTK1, K: 3}); !errors.Is(err, ErrNilRegion) {
+		t.Errorf("nil region: got %v, want ErrNilRegion", err)
+	}
+	bad := box(t, []float64{0.2}, []float64{0.3})
+	if _, err := e.Do(ctx, Request{Variant: UTK1, K: 3, Region: bad}); !errors.Is(err, core.ErrDimMismatch) {
+		t.Errorf("dim mismatch: got %v, want ErrDimMismatch", err)
+	}
+	if _, err := New(td.tree, td.recs, Config{MaxK: 0}); !errors.Is(err, core.ErrBadK) {
+		t.Errorf("MaxK = 0: got %v, want ErrBadK", err)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	td := buildData(t, 200, 3, 9)
+	e, err := New(td.tree, td.recs, Config{MaxK: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := box(t, []float64{0.2, 0.3}, []float64{0.25, 0.35})
+	if _, err := e.Do(ctx, Request{Variant: UTK1, K: 3, Region: r}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context: got %v", err)
+	}
+	if st := e.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestEngineSingleFlight(t *testing.T) {
+	td := buildData(t, 1500, 3, 13)
+	// Cache disabled: only in-flight deduplication can coalesce queries.
+	e, err := New(td.tree, td.recs, Config{MaxK: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := box(t, []float64{0.2, 0.3}, []float64{0.3, 0.4})
+	req := Request{Variant: UTK1, K: 8, Region: r}
+	const callers = 8
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Do(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if fmt.Sprint(results[i].IDs) != fmt.Sprint(results[0].IDs) {
+			t.Fatal("concurrent identical queries disagreed")
+		}
+	}
+	st := e.Stats()
+	if st.Queries != callers {
+		t.Errorf("queries = %d, want %d", st.Queries, callers)
+	}
+	if st.Misses+st.Shared != callers || st.Hits != 0 {
+		t.Errorf("misses %d + shared %d != %d (hits %d)", st.Misses, st.Shared, callers, st.Hits)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight gauge = %d after drain", st.InFlight)
+	}
+}

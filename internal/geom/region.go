@@ -205,6 +205,100 @@ func (r *Region) Classify(h Halfspace) Side {
 	return sideFromExtremes(lo, hi)
 }
 
+// DominatesOver reports whether record p's score is at least record q's over
+// the entire region, with a strict advantage somewhere — the r-dominance
+// test of the paper's Definition 1. It is the allocation-free equivalent of
+// Classify(DualHalfspace(p, q)) == Inside, the innermost operation of the
+// filtering step, and follows the same accumulation order so verdicts match
+// bit for bit.
+func (r *Region) DominatesOver(p, q []float64) bool {
+	d := len(p)
+	pd, qd := p[d-1], q[d-1]
+	negB := pd - qd // −B of the dual half-space
+	trivial := true
+	if r.isBox {
+		// Single pass: accumulate the box minimum of the dual functional and
+		// detect the all-zero normal along the way.
+		mn := negB
+		for i := 0; i < d-1; i++ {
+			a := (p[i] - pd) - (q[i] - qd)
+			if a >= 0 {
+				if a > Eps {
+					trivial = false
+				}
+				mn += a * r.lo[i]
+			} else {
+				if a < -Eps {
+					trivial = false
+				}
+				mn += a * r.hi[i]
+			}
+		}
+		if trivial {
+			// Equal scores everywhere up to the constant term: p r-dominates
+			// q only when it is strictly better by that constant.
+			return negB > Eps
+		}
+		return mn >= -Eps
+	}
+	for i := 0; i < d-1; i++ {
+		if a := (p[i] - pd) - (q[i] - qd); a > Eps || a < -Eps {
+			trivial = false
+			break
+		}
+	}
+	if trivial {
+		return negB > Eps
+	}
+	mn := math.Inf(1)
+	for _, v := range r.vertices {
+		e := negB
+		for i := 0; i < d-1; i++ {
+			e += ((p[i] - pd) - (q[i] - qd)) * v[i]
+		}
+		if e < mn {
+			mn = e
+		}
+	}
+	return mn >= -Eps
+}
+
+// ScoreRange returns the minimum and maximum score of record p over the
+// region. Both extremes of the linear functional are attained at vertices;
+// boxes use the O(dim) per-coordinate sign rule instead.
+func (r *Region) ScoreRange(p []float64) (mn, mx float64) {
+	d := len(p)
+	pd := p[d-1]
+	if r.isBox {
+		mn, mx = pd, pd
+		for i := 0; i < d-1; i++ {
+			a := p[i] - pd
+			if a >= 0 {
+				mn += a * r.lo[i]
+				mx += a * r.hi[i]
+			} else {
+				mn += a * r.hi[i]
+				mx += a * r.lo[i]
+			}
+		}
+		return mn, mx
+	}
+	mn, mx = math.Inf(1), math.Inf(-1)
+	for _, v := range r.vertices {
+		s := pd
+		for i := 0; i < d-1; i++ {
+			s += (p[i] - pd) * v[i]
+		}
+		if s < mn {
+			mn = s
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mn, mx
+}
+
 // sideFromExtremes converts the [min, max] range of A·w − B over a region
 // into a Side. A region whose maximum is within tolerance of zero only
 // touches the boundary and counts as Outside; symmetrically for Inside.

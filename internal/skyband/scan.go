@@ -1,0 +1,130 @@
+package skyband
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// scanSkyband computes the k-skyband of an explicit record set under a
+// pluggable dominance test by a sort-and-sweep: records are visited in
+// non-increasing key order (any dominator of a record must have a key at
+// least as large), counting dominators among the kept members with early
+// exit at k. It is the tree-free analogue of bbs for candidate sets that are
+// already skyband-shaped, where MBB pruning cannot cut anything and the
+// heap's constant factors dominate.
+//
+// Keys are packed into uint64s (order-preserving float bits with the low
+// bits replaced by the record index) and sorted with slices.Sort, so the
+// sweep allocates one word per record. The packing quantizes away the low
+// log2(n) mantissa bits, which can only make near-tied records visit in the
+// wrong relative order; that can inflate the kept set — never shrink it —
+// because exclusion only ever relies on k genuine dominators. Callers that
+// need the exact skyband (all do) run an exact pairwise pass over the kept
+// members, as NewGraph does.
+func scanSkyband(recs [][]float64, k int, key func([]float64) float64, dom func(p, q []float64) bool) []int {
+	n := len(recs)
+	if n == 0 {
+		return nil
+	}
+	idxBits := uint(bits.Len(uint(n - 1)))
+	idxMask := uint64(1)<<idxBits - 1
+	keys := make([]uint64, n)
+	for i, rec := range recs {
+		b := math.Float64bits(key(rec))
+		// Map to the total order of float64 values: flip all bits of
+		// negatives, set the sign bit of non-negatives.
+		if b&(1<<63) != 0 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		keys[i] = b&^idxMask | uint64(i)
+	}
+	slices.Sort(keys)
+	members := make([]int, 0, 4*k)
+	for j := n - 1; j >= 0; j-- {
+		i := int(keys[j] & idxMask)
+		cnt := 0
+		for _, m := range members {
+			if dom(recs[m], recs[i]) {
+				cnt++
+				if cnt >= k {
+					break
+				}
+			}
+		}
+		if cnt < k {
+			members = append(members, i)
+		}
+	}
+	return members
+}
+
+// ScanKSkyband returns the indices of the classic k-skyband members of an
+// explicit record set, computed without an R-tree. The result is a superset
+// of the exact k-skyband only in the presence of key ties (see scanSkyband);
+// for skyband derivation that superset is what callers want — it is itself a
+// valid candidate superset.
+func ScanKSkyband(recs [][]float64, k int) []int {
+	key := func(p []float64) float64 {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		return s
+	}
+	return scanSkyband(recs, k, key, geom.Dominates)
+}
+
+// ScanGraph computes the r-skyband of an explicit candidate superset (each
+// candidate r-dominated by fewer than k others within the full dataset) and
+// its r-dominance graph without an R-tree, in two passes:
+//
+//  1. Interval pruning: a record whose maximum score over R lies strictly
+//     (beyond Eps) below the k-th largest minimum score over R has at least
+//     k records outscoring it everywhere in R — k genuine r-dominators — so
+//     it is excluded with O(1) work after an O(n·d) range computation. For
+//     the narrow regions UTK targets, this eliminates almost everything.
+//  2. A sort-and-sweep over the survivors (see scanSkyband) followed by
+//     NewGraph's exact pairwise pass.
+//
+// The resulting graph has exactly the nodes and edges BuildGraph derives
+// over an index of the same records.
+func ScanGraph(recs [][]float64, ids []int, r *geom.Region, k int) *Graph {
+	n := len(recs)
+	survRecs := recs
+	survIDs := ids
+	if n > k {
+		smax := make([]float64, n)
+		smin := make([]float64, n)
+		for i, rec := range recs {
+			smin[i], smax[i] = r.ScoreRange(rec)
+		}
+		kth := append([]float64(nil), smin...)
+		sort.Float64s(kth)
+		theta := kth[n-k] // k-th largest minimum score
+		survRecs = make([][]float64, 0, 4*k)
+		survIDs = make([]int, 0, 4*k)
+		for i := range recs {
+			if smax[i]+geom.Eps >= theta {
+				survRecs = append(survRecs, recs[i])
+				survIDs = append(survIDs, ids[i])
+			}
+		}
+	}
+	pivot := r.Pivot()
+	key := func(p []float64) float64 { return geom.Score(p, pivot) }
+	dom := func(p, q []float64) bool { return RDominates(p, q, r) }
+	keep := scanSkyband(survRecs, k, key, dom)
+	mrecs := make([][]float64, len(keep))
+	mids := make([]int, len(keep))
+	for i, idx := range keep {
+		mrecs[i] = survRecs[idx]
+		mids[i] = survIDs[idx]
+	}
+	return NewGraph(mrecs, mids, r, k)
+}

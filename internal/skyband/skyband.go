@@ -17,16 +17,11 @@ import (
 // somewhere in R. Records with identical scores across the whole preference
 // domain do not r-dominate each other.
 func RDominates(p, q []float64, r *geom.Region) bool {
-	h := geom.DualHalfspace(p, q)
-	if h.IsTrivial() {
-		// Equal scores everywhere (up to the constant term): dominance holds
-		// only when p is strictly better by the constant, which for the dual
-		// transform means B < 0 strictly.
-		return h.B < -geom.Eps
-	}
-	// For a full-dimensional R, containment implies strict inequality at
-	// interior points, so Inside suffices for Definition 1.
-	return r.Classify(h) == geom.Inside
+	// For a full-dimensional R, containment of the dual half-space implies
+	// strict inequality at interior points, so Definition 1 reduces to the
+	// allocation-free region test (identical verdicts to classifying
+	// DualHalfspace(p, q), which this hot path used to materialize).
+	return r.DominatesOver(p, q)
 }
 
 // bbsItem is a heap entry of the branch-and-bound search: either an R-tree
@@ -88,11 +83,12 @@ func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func
 		}
 		return false
 	}
+	var corner []float64 // scratch reused across node pops
 	for h.Len() > 0 {
 		it := heap.Pop(&h).(bbsItem)
 		if it.node != nil {
-			mx := nodeTopCorner(it.node)
-			if dominatedAtLeastK(mx) {
+			corner = nodeTopCornerInto(corner, it.node)
+			if dominatedAtLeastK(corner) {
 				continue
 			}
 			pushNode(it.node)
@@ -106,12 +102,12 @@ func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func
 	return members
 }
 
-// nodeTopCorner returns the top corner of a node's MBB: the point with the
-// maximum value of its entries in every dimension, which coordinate-wise
-// dominates every record stored under the node.
-func nodeTopCorner(n *rtree.Node) []float64 {
+// nodeTopCornerInto computes the top corner of a node's MBB — the point with
+// the maximum value of its entries in every dimension, which coordinate-wise
+// dominates every record stored under the node — into the reusable buffer.
+func nodeTopCornerInto(buf []float64, n *rtree.Node) []float64 {
 	es := n.Entries()
-	mx := append([]float64(nil), es[0].Max...)
+	mx := append(buf[:0], es[0].Max...)
 	for _, e := range es[1:] {
 		for i := range mx {
 			if e.Max[i] > mx[i] {

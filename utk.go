@@ -246,7 +246,10 @@ type Query struct {
 	// (ablation).
 	LinearDrill bool
 	// Workers > 1 verifies UTK1 candidates concurrently; the result is
-	// identical to the sequential run. UTK2 ignores the setting.
+	// identical to the sequential run. UTK2's JAA algorithm grows one shared
+	// global arrangement and is inherently sequential, so UTK2 clamps any
+	// Workers value to a single worker rather than honoring it. Both query
+	// kinds report the worker count actually used in Stats.EffectiveWorkers.
 	Workers int
 }
 
@@ -288,6 +291,10 @@ type Stats struct {
 	DrillHits int
 	// LPCalls counts simplex solves in arrangement maintenance.
 	LPCalls int
+	// EffectiveWorkers is the number of workers the refinement actually used:
+	// max(1, Query.Workers) for UTK1, always 1 for UTK2 (see Query.Workers).
+	// Zero for the baseline algorithms, which have no concurrent mode.
+	EffectiveWorkers int
 }
 
 func statsFromCore(st *core.Stats) Stats {
@@ -295,15 +302,16 @@ func statsFromCore(st *core.Stats) Stats {
 		return Stats{}
 	}
 	return Stats{
-		Candidates:     st.Candidates,
-		FilterDuration: st.FilterDuration,
-		RefineDuration: st.RefineDuration,
-		Partitions:     st.Partitions,
-		UniqueTopKSets: st.UniqueTopKSets,
-		PeakBytes:      st.PeakBytes,
-		Drills:         st.Drills,
-		DrillHits:      st.DrillHits,
-		LPCalls:        st.Arrangement.LPCalls,
+		Candidates:       st.Candidates,
+		FilterDuration:   st.FilterDuration,
+		RefineDuration:   st.RefineDuration,
+		Partitions:       st.Partitions,
+		UniqueTopKSets:   st.UniqueTopKSets,
+		PeakBytes:        st.PeakBytes,
+		Drills:           st.Drills,
+		DrillHits:        st.DrillHits,
+		LPCalls:          st.Arrangement.LPCalls,
+		EffectiveWorkers: st.EffectiveWorkers,
 	}
 }
 
@@ -326,6 +334,9 @@ type UTK1Result struct {
 	Records []int
 	// Stats describes the work performed.
 	Stats Stats
+	// CacheHit reports whether an Engine served the answer from its result
+	// cache (always false for direct Dataset queries).
+	CacheHit bool
 }
 
 // Cell is one partition of a UTK2 answer.
@@ -377,6 +388,9 @@ type UTK2Result struct {
 	Cells []Cell
 	// Stats describes the work performed.
 	Stats Stats
+	// CacheHit reports whether an Engine served the answer from its result
+	// cache (always false for direct Dataset queries).
+	CacheHit bool
 }
 
 // UTK1 reports all records that can appear in a top-k set when the weight
@@ -434,7 +448,12 @@ func (ds *Dataset) UTK2(q Query) (*UTK2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &UTK2Result{Cells: make([]Cell, len(cells)), Stats: statsFromCore(st)}
+	return utk2ResultFromCells(cells, statsFromCore(st)), nil
+}
+
+// utk2ResultFromCells deep-copies core cells into the public representation.
+func utk2ResultFromCells(cells []core.CellResult, st Stats) *UTK2Result {
+	out := &UTK2Result{Cells: make([]Cell, len(cells)), Stats: st}
 	for i, c := range cells {
 		hs := make([]Halfspace, len(c.Constraints))
 		for j, h := range c.Constraints {
@@ -446,7 +465,7 @@ func (ds *Dataset) UTK2(q Query) (*UTK2Result, error) {
 			Halfspaces: hs,
 		}
 	}
-	return out, nil
+	return out
 }
 
 // sweepInterval validates that the dataset and region fit the 2-dimensional
