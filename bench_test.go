@@ -607,3 +607,149 @@ func BenchmarkParallelRSA(b *testing.B) {
 		})
 	}
 }
+
+// benchDynEngine builds a 10k-point engine for the update benchmarks: the
+// incremental Insert/Delete path is compared against BenchmarkEngineRebuild,
+// the cost a static engine pays per record change.
+func benchDynEngine(b *testing.B) *Engine {
+	b.Helper()
+	idx := benchIND(b, 10000, benchD)
+	ds, err := NewDataset(idx.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := ds.NewEngine(EngineConfig{MaxK: benchK, CacheEntries: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEngineRebuild is the static baseline for the update benchmarks:
+// the full engine construction (index + skyband superset) an immutable
+// engine re-pays whenever a single record changes.
+func BenchmarkEngineRebuild(b *testing.B) {
+	idx := benchIND(b, 10000, benchD)
+	ds, err := NewDataset(idx.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.NewEngine(EngineConfig{MaxK: benchK, CacheEntries: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineInsert measures one incremental insert on a 10k-point
+// engine, mixing bulk-region records with occasional near-skyband ones (the
+// expensive case: dominance repair plus an index republish).
+func BenchmarkEngineInsert(b *testing.B) {
+	e := benchDynEngine(b)
+	rng := rand.New(rand.NewSource(5))
+	recs := make([][]float64, 4096)
+	for i := range recs {
+		rec := make([]float64, benchD)
+		for j := range rec {
+			rec[j] = rng.Float64()
+		}
+		if i%8 == 0 {
+			for j := range rec {
+				rec[j] = 0.9 + 0.1*rng.Float64()
+			}
+		}
+		recs[i] = rec
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%4096 == 0 {
+			// Inserts accumulate members (duplicates tie rather than evict),
+			// so reset the engine off the clock to keep ns/op independent
+			// of b.N.
+			b.StopTimer()
+			e = benchDynEngine(b)
+			b.StartTimer()
+		}
+		if _, err := e.Insert(recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDelete measures one incremental delete, cycling through a
+// shuffled victim order so band members and bulk records are interleaved.
+func BenchmarkEngineDelete(b *testing.B) {
+	e := benchDynEngine(b)
+	rng := rand.New(rand.NewSource(6))
+	victims := rng.Perm(10000)
+	next := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if next == len(victims) {
+			// Victims exhausted: rebuild the engine off the clock.
+			b.StopTimer()
+			e = benchDynEngine(b)
+			next = 0
+			b.StartTimer()
+		}
+		if err := e.Delete(victims[next]); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+}
+
+// BenchmarkUpdateThenQuery measures the serving cost of interleaved traffic:
+// every iteration applies one insert and then answers a UTK1 query, so the
+// timer covers incremental maintenance, precise cache invalidation, and the
+// (possibly invalidated) query recomputation.
+func BenchmarkUpdateThenQuery(b *testing.B) {
+	idx := benchIND(b, 10000, benchD)
+	ds, err := NewDataset(idx.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := ds.NewEngine(EngineConfig{MaxK: benchK})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gr := benchBox(b, benchD-1, benchSigma)
+	lo, hi := gr.Bounds()
+	r, err := NewBoxRegion(lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{K: benchK, Region: r}
+	if _, err := e.UTK1(ctx, q); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%4096 == 0 {
+			// Near-top inserts accumulate in the band; rebuild off the clock
+			// so ns/op stays independent of b.N.
+			b.StopTimer()
+			e, err = ds.NewEngine(EngineConfig{MaxK: benchK})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.UTK1(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		rec := make([]float64, benchD)
+		for j := range rec {
+			rec[j] = 0.85 + 0.15*rng.Float64() // near-top: frequently invalidating
+		}
+		if _, err := e.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.UTK1(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,9 +6,14 @@
 //
 // Endpoints:
 //
-//	POST /utk1  {"k": 10, "region": {"lo": [0.2,0.2,0.2], "hi": [0.3,0.3,0.3]}}
-//	POST /utk2  same request body; returns the region partitioning
-//	GET  /stats engine counters (cache hits/misses, in-flight, superset size)
+//	POST /utk1   {"k": 10, "region": {"lo": [0.2,0.2,0.2], "hi": [0.3,0.3,0.3]}}
+//	POST /utk2   same request body; returns the region partitioning
+//	POST /update {"delete": [3, 17], "insert": [[0.5, 0.2, 0.9], ...]}
+//	GET  /stats  engine counters (cache, updates, epoch, shadow band)
+//
+// /update applies deletes before inserts, as one atomic batch: concurrent
+// queries observe either none or all of it. The response carries the ids
+// assigned to the inserted records and the post-update engine state.
 //
 // A general convex region may be given instead of a box:
 //
@@ -45,6 +50,7 @@ func main() {
 		d        = flag.Int("d", 4, "generated dataset dimensionality (synthetic kinds only)")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		maxK     = flag.Int("maxk", 20, "largest top-k depth the engine serves")
+		shadow   = flag.Int("shadow", 0, "deletion-repair shadow depth beyond maxk (0 = maxk)")
 		cache    = flag.Int("cache", utk.DefaultEngineCacheEntries, "LRU result-cache entries (negative disables)")
 		workers  = flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-query deadline (0 = none)")
@@ -61,6 +67,7 @@ func main() {
 	}
 	engine, err := ds.NewEngine(utk.EngineConfig{
 		MaxK:         *maxK,
+		ShadowDepth:  *shadow,
 		CacheEntries: *cache,
 		Workers:      *workers,
 		QueryTimeout: *timeout,
@@ -73,6 +80,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/utk1", srv.handleUTK1)
 	mux.HandleFunc("/utk2", srv.handleUTK2)
+	mux.HandleFunc("/update", srv.handleUpdate)
 	mux.HandleFunc("/stats", srv.handleStats)
 	log.Printf("utkserve: %d records, %d attributes, maxk=%d, superset=%d, listening on %s",
 		ds.Len(), ds.Dim(), *maxK, engine.Stats().SupersetSize, *addr)
@@ -190,20 +198,78 @@ func (s *server) handleUTK2(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// updateRequest is the JSON body of /update. Deletes apply before inserts.
+type updateRequest struct {
+	Delete []int       `json:"delete"`
+	Insert [][]float64 `json:"insert"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Delete)+len(req.Insert) == 0 {
+		http.Error(w, "provide delete ids and/or insert records", http.StatusBadRequest)
+		return
+	}
+	ops := make([]utk.UpdateOp, 0, len(req.Delete)+len(req.Insert))
+	for _, id := range req.Delete {
+		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateDelete, ID: id})
+	}
+	for _, rec := range req.Insert {
+		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateInsert, Record: rec})
+	}
+	res, err := s.engine.ApplyBatch(ops)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, utk.ErrUnknownRecord) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"deleted":      req.Delete,
+		"inserted_ids": res.IDs[len(req.Delete):],
+		"epoch":        res.Epoch,
+		"live":         res.Live,
+		"superset":     res.SupersetSize,
+		"shadow":       res.ShadowSize,
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Stats()
 	writeJSON(w, map[string]any{
-		"queries":       st.Queries,
-		"hits":          st.Hits,
-		"misses":        st.Misses,
-		"shared":        st.Shared,
-		"evictions":     st.Evictions,
-		"rejected":      st.Rejected,
-		"in_flight":     st.InFlight,
-		"cache_entries": st.CacheEntries,
-		"superset_size": st.SupersetSize,
-		"max_k":         st.MaxK,
-		"workers":       st.Workers,
+		"queries":          st.Queries,
+		"hits":             st.Hits,
+		"misses":           st.Misses,
+		"shared":           st.Shared,
+		"evictions":        st.Evictions,
+		"invalidations":    st.Invalidations,
+		"rejected":         st.Rejected,
+		"in_flight":        st.InFlight,
+		"cache_entries":    st.CacheEntries,
+		"epoch":            st.Epoch,
+		"live":             st.Live,
+		"superset_size":    st.SupersetSize,
+		"shadow_size":      st.ShadowSize,
+		"coverage":         st.Coverage,
+		"inserts":          st.Inserts,
+		"deletes":          st.Deletes,
+		"update_batches":   st.UpdateBatches,
+		"promotions":       st.Promotions,
+		"demotions":        st.Demotions,
+		"shadow_evictions": st.ShadowEvictions,
+		"rebuilds":         st.Rebuilds,
+		"max_k":            st.MaxK,
+		"workers":          st.Workers,
 	})
 }
 

@@ -11,10 +11,14 @@ import (
 // EngineConfig tunes a query-serving Engine.
 type EngineConfig struct {
 	// MaxK is the largest top-k depth the engine serves (required, positive).
-	// The engine's construction-time candidate superset is computed at this
-	// depth; queries with K ≤ MaxK reuse it instead of refiltering the whole
-	// dataset.
+	// The engine's candidate superset is maintained at this depth; queries
+	// with K ≤ MaxK reuse it instead of refiltering the whole dataset.
 	MaxK int
+	// ShadowDepth is how many dominance levels beyond MaxK the engine
+	// retains as a deletion-repair shadow band; values below 1 default to
+	// MaxK. Deeper shadows survive more skyline-area deletions between
+	// recompute fallbacks at the cost of a larger resident member set.
+	ShadowDepth int
 	// CacheEntries bounds the LRU result cache. Zero selects
 	// DefaultEngineCacheEntries; negative values disable caching.
 	CacheEntries int
@@ -22,9 +26,10 @@ type EngineConfig struct {
 	// below 1 default to runtime.GOMAXPROCS(0).
 	Workers int
 	// QueryTimeout, when positive, is the deadline applied to queries whose
-	// context carries none. It covers queueing and waiting on a deduplicated
-	// identical query; a refinement that already started runs to completion,
-	// but the waiting caller returns early.
+	// context carries none. It covers queueing, waiting on a deduplicated
+	// identical query, and — through the cancellation hook threaded into
+	// the refinement recursion — the computation itself: an expired query
+	// aborts mid-refinement and frees its worker slot promptly.
 	QueryTimeout time.Duration
 }
 
@@ -33,16 +38,50 @@ type EngineConfig struct {
 const DefaultEngineCacheEntries = 256
 
 // Engine serves many UTK queries over one dataset, amortizing work across
-// queries: the r-dominance filtering reuses a construction-time candidate
-// superset, identical queries are answered from an LRU cache (with
-// single-flight deduplication of concurrent duplicates), and execution runs
-// on a bounded worker pool with per-query deadlines. It is safe for
-// concurrent use and returns the same answers as the direct Dataset.UTK1 and
-// Dataset.UTK2 calls.
+// queries: the r-dominance filtering reuses a maintained candidate superset,
+// identical queries are answered from an LRU cache (with single-flight
+// deduplication of concurrent duplicates), and execution runs on a bounded
+// worker pool with per-query deadlines threaded into the refinement
+// recursion. It is safe for concurrent use.
+//
+// The engine's dataset is mutable: Insert, Delete, and ApplyBatch maintain
+// the candidate superset incrementally (orders of magnitude cheaper than
+// rebuilding the engine) and invalidate only the cached results the change
+// can actually affect. The originating Dataset itself stays immutable —
+// after the first update the engine's answers describe its own, updated
+// record collection, with inserted records assigned fresh ids above the
+// Dataset's range. Before any update, answers equal the direct
+// Dataset.UTK1 and Dataset.UTK2 calls.
 type Engine struct {
 	ds *Dataset
 	e  *engine.Engine
 }
+
+// UpdateKind discriminates UpdateOp.
+type UpdateKind int
+
+const (
+	// UpdateInsert adds Record to the engine's dataset.
+	UpdateInsert UpdateKind = iota
+	// UpdateDelete removes the record with id ID.
+	UpdateDelete
+)
+
+// UpdateOp is one element of an Engine.ApplyBatch request.
+type UpdateOp struct {
+	Kind   UpdateKind
+	Record []float64 // for UpdateInsert
+	ID     int       // for UpdateDelete
+}
+
+// Errors returned by the update API.
+var (
+	// ErrUnknownRecord reports a delete of an id that is not live.
+	ErrUnknownRecord = engine.ErrUnknownRecord
+	// ErrBadUpdate reports a malformed update (wrong dimensionality,
+	// non-finite attribute, or unknown operation kind).
+	ErrBadUpdate = engine.ErrBadUpdate
+)
 
 // EngineStats is a point-in-time snapshot of an Engine's counters.
 type EngineStats struct {
@@ -53,17 +92,40 @@ type EngineStats struct {
 	Hits   uint64
 	Misses uint64
 	Shared uint64
-	// Evictions counts cache evictions; Rejected counts queries that gave up
-	// (deadline or cancellation) before obtaining a result.
-	Evictions uint64
-	Rejected  uint64
+	// Evictions counts LRU capacity evictions; Invalidations counts cache
+	// entries evicted because an update could affect them. Rejected counts
+	// queries that gave up (deadline or cancellation) before obtaining a
+	// result.
+	Evictions     uint64
+	Invalidations uint64
+	Rejected      uint64
 	// InFlight is the number of computations executing right now.
 	InFlight int
 	// CacheEntries is the current cache population.
 	CacheEntries int
-	// SupersetSize is the size of the construction-time candidate superset —
-	// the pool every warm query filters instead of the full dataset.
+	// Epoch is the current index version; it advances whenever an update
+	// changes the candidate superset. Live is the current record population.
+	Epoch uint64
+	Live  int
+	// SupersetSize is the current candidate-superset size — the pool every
+	// warm query filters instead of the full dataset. ShadowSize and
+	// Coverage describe the dynamic maintenance structure behind it: the
+	// near-skyband records retained for deletion repair, and the dominance
+	// depth up to which membership is currently guaranteed.
 	SupersetSize int
+	ShadowSize   int
+	Coverage     int
+	// Inserts, Deletes, and UpdateBatches count applied updates; Promotions,
+	// Demotions, ShadowEvictions, and Rebuilds are the incremental skyband's
+	// maintenance counters (shadow→band repairs, band→shadow crossings,
+	// drops past the retention depth, and shadow-exhaustion recomputations).
+	Inserts         uint64
+	Deletes         uint64
+	UpdateBatches   uint64
+	Promotions      uint64
+	Demotions       uint64
+	ShadowEvictions uint64
+	Rebuilds        uint64
 	// MaxK and Workers echo the effective configuration.
 	MaxK    int
 	Workers int
@@ -80,6 +142,7 @@ func (ds *Dataset) NewEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e, err := engine.New(ds.tree, ds.records, engine.Config{
 		MaxK:         cfg.MaxK,
+		ShadowDepth:  cfg.ShadowDepth,
 		CacheEntries: entries,
 		Workers:      cfg.Workers,
 		QueryTimeout: cfg.QueryTimeout,
@@ -97,18 +160,90 @@ func (e *Engine) MaxK() int { return e.e.MaxK() }
 func (e *Engine) Stats() EngineStats {
 	st := e.e.Stats()
 	return EngineStats{
-		Queries:      st.Queries,
-		Hits:         st.Hits,
-		Misses:       st.Misses,
-		Shared:       st.Shared,
-		Evictions:    st.Evictions,
-		Rejected:     st.Rejected,
-		InFlight:     st.InFlight,
-		CacheEntries: st.CacheEntries,
-		SupersetSize: st.SupersetSize,
-		MaxK:         st.MaxK,
-		Workers:      st.Workers,
+		Queries:         st.Queries,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Shared:          st.Shared,
+		Evictions:       st.Evictions,
+		Invalidations:   st.Invalidations,
+		Rejected:        st.Rejected,
+		InFlight:        st.InFlight,
+		CacheEntries:    st.CacheEntries,
+		Epoch:           st.Epoch,
+		Live:            st.Live,
+		SupersetSize:    st.SupersetSize,
+		ShadowSize:      st.ShadowSize,
+		Coverage:        st.Coverage,
+		Inserts:         st.Inserts,
+		Deletes:         st.Deletes,
+		UpdateBatches:   st.UpdateBatches,
+		Promotions:      st.Promotions,
+		Demotions:       st.Demotions,
+		ShadowEvictions: st.ShadowEvictions,
+		Rebuilds:        st.Rebuilds,
+		MaxK:            st.MaxK,
+		Workers:         st.Workers,
 	}
+}
+
+// Insert adds a record to the engine's dataset (copied; same dimensionality
+// as the dataset, finite attributes) and returns its assigned id. The
+// candidate superset is repaired incrementally and only the cached results
+// the new record can actually affect are invalidated.
+func (e *Engine) Insert(record []float64) (int, error) {
+	return e.e.Insert(record)
+}
+
+// Delete removes the record with the given id from the engine's dataset,
+// under the same incremental-maintenance guarantees as Insert. Deleting an
+// id that is not live returns ErrUnknownRecord.
+func (e *Engine) Delete(id int) error {
+	return e.e.Delete(id)
+}
+
+// UpdateResult reports the outcome of one ApplyBatch: the per-op ids plus
+// the engine state as published by this batch — under concurrent updates,
+// these numbers belong to this batch, not whichever applied last.
+type UpdateResult struct {
+	// IDs is index-aligned with the batch ops: assigned ids for inserts,
+	// the deleted ids for deletes.
+	IDs []int
+	// Epoch is the index version current when this batch was published.
+	Epoch uint64
+	// Live, SupersetSize, and ShadowSize snapshot the dataset right after
+	// this batch applied.
+	Live         int
+	SupersetSize int
+	ShadowSize   int
+}
+
+// ApplyBatch applies a sequence of updates atomically with respect to
+// queries: every concurrent query observes either the pre-batch or the
+// post-batch dataset, never an intermediate state. A validation error
+// (ErrBadUpdate, ErrUnknownRecord) leaves the engine unchanged.
+func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
+	converted := make([]engine.UpdateOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case UpdateInsert:
+			converted[i] = engine.UpdateOp{Kind: engine.UpdateInsert, Record: op.Record}
+		case UpdateDelete:
+			converted[i] = engine.UpdateOp{Kind: engine.UpdateDelete, ID: op.ID}
+		default:
+			return nil, ErrBadUpdate
+		}
+	}
+	res, err := e.e.ApplyBatch(converted)
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateResult{
+		IDs:          res.IDs,
+		Epoch:        res.Epoch,
+		Live:         res.Live,
+		SupersetSize: res.SupersetSize,
+		ShadowSize:   res.ShadowSize,
+	}, nil
 }
 
 // UTK1 answers a UTK1 query through the engine. The query must use the

@@ -2,6 +2,7 @@ package utk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -154,5 +155,126 @@ func TestEffectiveWorkersStat(t *testing.T) {
 	}
 	if res2.Stats.EffectiveWorkers != 1 {
 		t.Errorf("UTK2 EffectiveWorkers = %d, want 1 (JAA is sequential)", res2.Stats.EffectiveWorkers)
+	}
+}
+
+func TestEngineFacadeUpdates(t *testing.T) {
+	ds, r := facadeFixture(t)
+	e, err := ds.NewEngine(EngineConfig{MaxK: 8, ShadowDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{K: 4, Region: r}
+
+	if _, err := e.UTK1(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a record that tops every ranking; it must show up immediately.
+	id, err := e.Insert([]float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ds.Len() {
+		t.Errorf("assigned id %d, want %d", id, ds.Len())
+	}
+	res, err := e.UTK1(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, got := range res.Records {
+		found = found || got == id
+	}
+	if !found {
+		t.Errorf("inserted top record %d missing from %v", id, res.Records)
+	}
+	res2, err := e.UTK2(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res2.Cells {
+		in := false
+		for _, got := range c.TopK {
+			in = in || got == id
+		}
+		if !in {
+			t.Errorf("inserted top record %d missing from UTK2 cell %v", id, c.TopK)
+		}
+	}
+
+	// A batch: delete the newcomer, insert two replacements.
+	bres, err := e.ApplyBatch([]UpdateOp{
+		{Kind: UpdateDelete, ID: id},
+		{Kind: UpdateInsert, Record: []float64{1.5, 1.5, 1.5}},
+		{Kind: UpdateInsert, Record: []float64{0.01, 0.01, 0.01}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := bres.IDs; len(ids) != 3 || ids[0] != id || ids[1] != id+1 || ids[2] != id+2 {
+		t.Errorf("batch ids = %v", ids)
+	}
+	if bres.Live != ds.Len()+2 || bres.Epoch == 0 {
+		t.Errorf("batch result state = %+v", bres)
+	}
+	res, err = e.UTK1(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range res.Records {
+		if got == id {
+			t.Errorf("deleted record %d still reported", id)
+		}
+	}
+
+	// The engine's answers equal a from-scratch Dataset over the same
+	// logical records (positional ids remapped).
+	recs := make([][]float64, 0, ds.Len()+2)
+	idMap := make([]int, 0, ds.Len()+2)
+	for i := 0; i < ds.Len(); i++ {
+		recs = append(recs, ds.Record(i))
+		idMap = append(idMap, i)
+	}
+	recs = append(recs, []float64{1.5, 1.5, 1.5}, []float64{0.01, 0.01, 0.01})
+	idMap = append(idMap, id+1, id+2)
+	fresh, err := NewDataset(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.UTK1(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := make([]int, len(want.Records))
+	for i, pos := range want.Records {
+		mapped[i] = idMap[pos]
+	}
+	sort.Ints(mapped)
+	if fmt.Sprint(res.Records) != fmt.Sprint(mapped) {
+		t.Errorf("post-batch engine %v != fresh dataset %v", res.Records, mapped)
+	}
+
+	st := e.Stats()
+	if st.Inserts != 3 || st.Deletes != 1 || st.UpdateBatches != 2 {
+		t.Errorf("update counters: %+v", st)
+	}
+	if st.Live != ds.Len()+2 {
+		t.Errorf("live = %d, want %d", st.Live, ds.Len()+2)
+	}
+	if st.Epoch == 0 {
+		t.Error("epoch never advanced")
+	}
+	if st.Coverage < 8 {
+		t.Errorf("coverage %d below MaxK", st.Coverage)
+	}
+
+	// Validation errors surface through the exported sentinels.
+	if _, err := e.Insert([]float64{1, 2}); !errors.Is(err, ErrBadUpdate) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	if err := e.Delete(id); !errors.Is(err, ErrUnknownRecord) {
+		t.Errorf("double delete: %v", err)
 	}
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/skyband"
+)
+
+// TestCancelInterruptsRefinement verifies that a tripped Options.Cancel makes
+// both algorithms return ErrCanceled instead of a partial answer, for the
+// sequential and parallel RSA paths alike.
+func TestCancelInterruptsRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	data := randomData(rng, 400, 3)
+	tree := buildTree(t, data)
+	r := randomBox(rng, 2)
+	g := skyband.BuildGraph(tree, r, 5)
+	if g.Len() <= 5 {
+		t.Skip("degenerate instance: refinement trivially complete")
+	}
+
+	for name, opts := range map[string]Options{
+		"sequential": {Cancel: func() bool { return true }},
+		"parallel":   {Workers: 3, Cancel: func() bool { return true }},
+	} {
+		if _, err := RSAFromGraph(g, r, 5, opts, nil); !errors.Is(err, ErrCanceled) {
+			t.Errorf("RSA %s: err = %v, want ErrCanceled", name, err)
+		}
+	}
+	if _, err := JAAFromGraph(g, r, 5, Options{Cancel: func() bool { return true }}, nil); !errors.Is(err, ErrCanceled) {
+		t.Errorf("JAA: err = %v, want ErrCanceled", err)
+	}
+
+	// A cancel hook that fires after a few polls still interrupts, and a
+	// hook that never fires leaves the answer intact.
+	polls := 0
+	late := Options{Cancel: func() bool { polls++; return polls > 3 }}
+	if _, err := RSAFromGraph(g, r, 5, late, nil); !errors.Is(err, ErrCanceled) {
+		t.Errorf("late cancel: err = %v, want ErrCanceled", err)
+	}
+	want, _, err := RSA(tree, r, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RSAFromGraph(g, r, 5, Options{Cancel: func() bool { return false }}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("never-firing cancel changed the answer: %d ids, want %d", len(got), len(want))
+	}
+}

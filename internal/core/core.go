@@ -37,6 +37,12 @@ type Options struct {
 	// worker count they actually ran with in Stats.EffectiveWorkers, so
 	// callers can tell a honored request from a clamped one.
 	Workers int
+	// Cancel, when non-nil, is polled at every Verify/Partition recursion
+	// step. Once it returns true the refinement abandons its remaining work
+	// and the algorithm returns ErrCanceled, so an expired or superseded
+	// query frees its worker promptly instead of running to completion. It
+	// must be cheap and safe to call from multiple goroutines.
+	Cancel func() bool
 }
 
 // Stats reports the work an algorithm run performed.
@@ -76,6 +82,10 @@ var (
 	ErrEmptyDataset = errors.New("core: empty dataset")
 )
 
+// ErrCanceled is returned when Options.Cancel interrupted a refinement
+// before it produced a complete answer.
+var ErrCanceled = errors.New("core: refinement canceled")
+
 // refiner holds the state shared by the RSA and JAA refinement steps for a
 // single query: the r-dominance graph, the query region, and the half-space
 // cache for candidate/competitor pairs.
@@ -89,6 +99,20 @@ type refiner struct {
 	// hs caches the dual half-space "competitor q outscores candidate p",
 	// keyed by q*n+p.
 	hs map[int]geom.Halfspace
+	// stopped latches the first true verdict of opts.Cancel, so one poll per
+	// recursion step suffices and the unwind never resumes work.
+	stopped bool
+}
+
+// stop polls the cancellation hook (if any), latching a positive verdict.
+func (rf *refiner) stop() bool {
+	if rf.stopped {
+		return true
+	}
+	if rf.opts.Cancel != nil && rf.opts.Cancel() {
+		rf.stopped = true
+	}
+	return rf.stopped
 }
 
 func newRefiner(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats) *refiner {

@@ -88,6 +88,9 @@ func JAAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 	ignore.Or(g.Desc[anchor])
 	ignore.Or(excluded)
 	js.partition(anchor, r.Halfspaces(), k-prefix.Count(), ignore, prefix, excluded)
+	if rf.stopped {
+		return nil, ErrCanceled
+	}
 	finishStats(st, js)
 	return js.out, nil
 }
@@ -163,6 +166,10 @@ func (js *jaaState) emit(cell []geom.Halfspace, interior []float64, prefix bitse
 //     sub-cells) gives the recursion a strictly decreasing measure.
 func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, prefix, excluded bitset.Set) {
 	rf := js.rf
+	if rf.stop() {
+		// The partial partitioning is unusable; JAAFromGraph discards it.
+		return
+	}
 	rf.st.PartitionCalls++
 	n := rf.g.Len()
 	comp := fullSet(n)

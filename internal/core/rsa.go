@@ -68,11 +68,15 @@ func RSAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 	})
 
 	var verified bitset.Set
+	var stopped bool
 	if opts.Workers > 1 {
 		st.EffectiveWorkers = opts.Workers
-		verified = rsaParallel(g, r, k, opts, st, order)
+		verified, stopped = rsaParallel(g, r, k, opts, st, order)
 	} else {
-		verified = rsaSequential(g, r, k, opts, st, order)
+		verified, stopped = rsaSequential(g, r, k, opts, st, order)
+	}
+	if stopped {
+		return nil, ErrCanceled
 	}
 	out := make([]int, 0, verified.Count())
 	verified.ForEach(func(i int) bool {
@@ -82,12 +86,15 @@ func RSAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 	return out, nil
 }
 
-func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats, order []int) bitset.Set {
+func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats, order []int) (bitset.Set, bool) {
 	n := g.Len()
 	rf := newRefiner(g, r, k, opts, st)
 	active := fullSet(n) // candidates not yet disqualified
 	verified := bitset.New(n)
 	for _, p := range order {
+		if rf.stop() {
+			return verified, true
+		}
 		if verified.Has(p) || !active.Has(p) {
 			continue
 		}
@@ -106,7 +113,7 @@ func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *St
 			active.Clear(p)
 		}
 	}
-	return verified
+	return verified, rf.stopped
 }
 
 // rsaParallel fans candidate verification out to opts.Workers goroutines.
@@ -114,7 +121,7 @@ func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *St
 // snapshots); each worker owns a refiner, so half-space caches and
 // arrangement counters never contend. Verdicts are interleaving-independent
 // (see Options.Workers), so the result set equals the sequential one.
-func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats, order []int) bitset.Set {
+func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats, order []int) (bitset.Set, bool) {
 	n := g.Len()
 	var mu sync.Mutex
 	active := fullSet(n)
@@ -122,13 +129,18 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 	next := 0
 	var wg sync.WaitGroup
 	workerStats := make([]*Stats, opts.Workers)
+	stopped := make([]bool, opts.Workers)
 	for wi := 0; wi < opts.Workers; wi++ {
 		wg.Add(1)
 		workerStats[wi] = &Stats{}
-		go func(ws *Stats) {
+		go func(wi int, ws *Stats) {
 			defer wg.Done()
 			rf := newRefiner(g, r, k, opts, ws)
+			defer func() { stopped[wi] = rf.stopped }()
 			for {
+				if rf.stop() {
+					return
+				}
 				mu.Lock()
 				var p = -1
 				for next < len(order) {
@@ -160,9 +172,13 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 				}
 				mu.Unlock()
 			}
-		}(workerStats[wi])
+		}(wi, workerStats[wi])
 	}
 	wg.Wait()
+	anyStopped := false
+	for _, s := range stopped {
+		anyStopped = anyStopped || s
+	}
 	for _, ws := range workerStats {
 		st.Drills += ws.Drills
 		st.DrillHits += ws.DrillHits
@@ -174,13 +190,17 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 		}
 		st.Arrangement.PeakBytes += ws.Arrangement.PeakBytes
 	}
-	return verified
+	return verified, anyStopped
 }
 
 // verify is Algorithm 2: it decides whether candidate p enters the top-k set
 // somewhere in the cell, given a rank quota and an ignore set, recursing
 // into promising partitions with Lemma-1 pruning.
 func (rf *refiner) verify(p int, cell []geom.Halfspace, quota int, ignore, active bitset.Set) bool {
+	if rf.stop() {
+		// The verdict is unusable; the callers unwind without consuming it.
+		return false
+	}
 	rf.st.VerifyCalls++
 	if quota <= 0 {
 		return false

@@ -84,7 +84,9 @@ func appendFloat(b []byte, v float64) []byte {
 }
 
 // lru is a non-concurrency-safe least-recently-used result cache; the Engine
-// serializes access under its mutex.
+// serializes access under its mutex. Entries remember the query's region and
+// depth so updates can invalidate precisely — evicting only the entries a
+// changed record can actually reach — instead of flushing the cache.
 type lru struct {
 	cap int
 	ll  *list.List
@@ -92,8 +94,10 @@ type lru struct {
 }
 
 type lruEntry struct {
-	key string
-	res *Result
+	key    string
+	region *geom.Region
+	k      int
+	res    *Result
 }
 
 func newLRU(capacity int) *lru {
@@ -111,13 +115,13 @@ func (c *lru) get(key string) (*Result, bool) {
 
 // add inserts (or refreshes) the entry and reports whether an older entry was
 // evicted to make room.
-func (c *lru) add(key string, res *Result) bool {
+func (c *lru) add(key string, region *geom.Region, k int, res *Result) bool {
 	if el, ok := c.m[key]; ok {
 		el.Value.(*lruEntry).res = res
 		c.ll.MoveToFront(el)
 		return false
 	}
-	c.m[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, region: region, k: k, res: res})
 	if c.ll.Len() <= c.cap {
 		return false
 	}
@@ -125,6 +129,38 @@ func (c *lru) add(key string, res *Result) bool {
 	c.ll.Remove(oldest)
 	delete(c.m, oldest.Value.(*lruEntry).key)
 	return true
+}
+
+// cacheEntryView is a snapshot row for the precise-invalidation scan, taken
+// under the engine mutex and probed outside it.
+type cacheEntryView struct {
+	key    string
+	region *geom.Region
+	k      int
+}
+
+// snapshot lists the resident entries' keys and query shapes.
+func (c *lru) snapshot() []cacheEntryView {
+	out := make([]cacheEntryView, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*lruEntry)
+		out = append(out, cacheEntryView{key: ent.key, region: ent.region, k: ent.k})
+	}
+	return out
+}
+
+// evictKeys removes the listed entries (if still resident), returning the
+// number actually evicted.
+func (c *lru) evictKeys(keys []string) int {
+	n := 0
+	for _, key := range keys {
+		if el, ok := c.m[key]; ok {
+			c.ll.Remove(el)
+			delete(c.m, key)
+			n++
+		}
+	}
+	return n
 }
 
 func (c *lru) len() int { return c.ll.Len() }

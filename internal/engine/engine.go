@@ -1,33 +1,47 @@
-// Package engine serves many UTK queries over one immutable dataset,
+// Package engine serves many UTK queries over one mutable dataset,
 // amortizing work across queries instead of paying the full pipeline per
-// call. Three mechanisms stack:
+// call. Four mechanisms stack:
 //
-//  1. Build-once/query-many filtering: at construction the engine computes
-//     the classic k-skyband of the dataset at its maximum supported depth
-//     MaxK. Classic dominance implies r-dominance for every region, so that
-//     skyband is a valid candidate superset for any query region and any
-//     k ≤ MaxK, and (by transitivity of r-dominance) counting dominators
-//     within the superset stays exact. The first query at each distinct
-//     k < MaxK derives that k's own candidate list from the superset (a
-//     skyband of a skyband is the dataset's skyband, so this stays exact and
-//     never touches the full data again). Each query then filters its few
+//  1. Build-once/query-many filtering: the engine maintains the classic
+//     k-skyband of the dataset at its maximum supported depth MaxK. Classic
+//     dominance implies r-dominance for every region, so that skyband is a
+//     valid candidate superset for any query region and any k ≤ MaxK, and
+//     (by transitivity of r-dominance) counting dominators within the
+//     superset stays exact. The first query at each distinct k < MaxK
+//     derives that k's own candidate list from the superset (a skyband of a
+//     skyband is the dataset's skyband, so this stays exact and never
+//     touches the full data again). Each query then filters its few
 //     thousand depth-relevant candidates with the tree-free sort-and-sweep
 //     (skyband.ScanGraph) instead of running branch-and-bound over the whole
 //     R-tree — the filter is the dominant share of cold-query latency, and
 //     skyband-shaped candidate sets defeat MBB pruning anyway.
-//  2. An LRU result cache keyed on a canonicalized (variant, k, region,
+//  2. Incremental updates: Insert, Delete, and ApplyBatch maintain the
+//     skyband superset through a skyband.Dynamic (shadow-band repair with a
+//     recompute fallback) instead of rebuilding the engine. Candidate lists
+//     are epoch-versioned: queries compute against an immutable snapshot and
+//     updates publish a fresh snapshot, so readers never observe a torn
+//     superset. Cached results are invalidated precisely — an update record
+//     that is r-dominated by at least k others throughout a cached region
+//     cannot appear in (or vanish from) any top-k set there, so that entry
+//     survives — rather than flushing the whole cache per update.
+//  3. An LRU result cache keyed on a canonicalized (variant, k, region,
 //     ablation flags) fingerprint, with single-flight deduplication so
 //     concurrent identical queries compute once and share the result.
-//  3. A bounded worker pool with per-query deadlines, so a burst of queries
-//     degrades into an orderly queue instead of unbounded goroutines.
+//  4. A bounded worker pool with per-query deadlines; the deadline (and a
+//     superseded-epoch check) is threaded into the refinement recursion via
+//     core.Options.Cancel, so an expired or stale query frees its worker
+//     slot promptly instead of running to completion.
 package engine
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -46,31 +60,38 @@ const (
 	UTK2
 )
 
-// Errors returned on invalid requests.
+// Errors returned on invalid requests and updates.
 var (
-	ErrKTooLarge = errors.New("engine: query k exceeds the engine's MaxK")
-	ErrNilRegion = errors.New("engine: query requires a region")
+	ErrKTooLarge     = errors.New("engine: query k exceeds the engine's MaxK")
+	ErrNilRegion     = errors.New("engine: query requires a region")
+	ErrUnknownRecord = errors.New("engine: record id is not live")
+	ErrBadUpdate     = errors.New("engine: invalid update operation")
 )
 
 // errAborted marks a flight whose leader gave up (context expiry) before the
-// computation started; waiters react by electing a new leader.
-var errAborted = errors.New("engine: in-flight computation aborted before starting")
+// computation finished; waiters react by electing a new leader.
+var errAborted = errors.New("engine: in-flight computation aborted")
 
 // Config tunes an Engine.
 type Config struct {
 	// MaxK is the largest top-k depth the engine serves (required, positive).
-	// The construction-time skyband is computed at this depth.
+	// The maintained skyband superset is computed at this depth.
 	MaxK int
+	// ShadowDepth is how many dominance levels beyond MaxK the dynamic
+	// skyband retains as a deletion-repair shadow; values below 1 default to
+	// MaxK. Deeper shadows survive more skyline-area deletions between
+	// recompute fallbacks at the cost of a larger resident member set.
+	ShadowDepth int
 	// CacheEntries bounds the LRU result cache; 0 disables caching.
 	CacheEntries int
 	// Workers bounds the number of concurrently executing queries; values
 	// below 1 default to runtime.GOMAXPROCS(0).
 	Workers int
 	// QueryTimeout, when positive, is the deadline applied to queries whose
-	// context carries none. The deadline covers queueing for a worker slot
-	// and waiting on a deduplicated in-flight computation; a computation
-	// that already started runs to completion (the refinement algorithms
-	// have no cancellation points), but its waiter returns early.
+	// context carries none. The deadline covers queueing for a worker slot,
+	// waiting on a deduplicated in-flight computation, and — through the
+	// cancellation hook threaded into the refinement recursion — the
+	// computation itself.
 	QueryTimeout time.Duration
 }
 
@@ -80,8 +101,9 @@ type Request struct {
 	K       int
 	Region  *geom.Region
 	// Opts forwards the algorithm switches. Workers is ignored here — the
-	// engine's own pool provides the concurrency — and the ablation flags
-	// participate in the cache fingerprint.
+	// engine's own pool provides the concurrency — and Cancel is overwritten
+	// by the engine's deadline/epoch hook; the ablation flags participate in
+	// the cache fingerprint.
 	Opts core.Options
 }
 
@@ -95,6 +117,10 @@ type Result struct {
 	// Stats describes the computation that produced the result. Cache hits
 	// carry the stats of the original computation.
 	Stats core.Stats
+	// Epoch is the index version the result was computed against. Cache hits
+	// report the epoch of the original computation; the entry's survival
+	// guarantees the answer is still exact for the current dataset.
+	Epoch uint64
 	// CacheHit reports whether this answer was served from the result cache.
 	CacheHit bool
 }
@@ -108,20 +134,60 @@ type Stats struct {
 	Hits   uint64
 	Misses uint64
 	Shared uint64
-	// Evictions counts LRU evictions; Rejected counts queries that gave up
-	// (deadline or cancellation) before obtaining a result.
-	Evictions uint64
-	Rejected  uint64
+	// Evictions counts LRU capacity evictions; Invalidations counts cache
+	// entries evicted because an update could affect them. Rejected counts
+	// queries that gave up (deadline or cancellation) before obtaining a
+	// result.
+	Evictions     uint64
+	Invalidations uint64
+	Rejected      uint64
 	// InFlight is the number of computations executing right now.
 	InFlight int
 	// CacheEntries is the current cache population.
 	CacheEntries int
-	// SupersetSize is the construction-time skyband size — the candidate
-	// pool every warm query filters instead of the full dataset.
+	// Epoch is the current index version; it advances whenever an update
+	// changes the candidate superset.
+	Epoch uint64
+	// Live is the current record population (initial records minus deletes
+	// plus inserts).
+	Live int
+	// SupersetSize is the current skyband-superset size — the candidate pool
+	// every warm query filters instead of the full dataset. ShadowSize and
+	// Coverage describe the dynamic structure behind it (see
+	// skyband.DynamicStats).
 	SupersetSize int
+	ShadowSize   int
+	Coverage     int
+	// Inserts, Deletes, and UpdateBatches count applied updates; Promotions,
+	// Demotions, ShadowEvictions, and Rebuilds are the dynamic skyband's
+	// maintenance counters.
+	Inserts         uint64
+	Deletes         uint64
+	UpdateBatches   uint64
+	Promotions      uint64
+	Demotions       uint64
+	ShadowEvictions uint64
+	Rebuilds        uint64
 	// MaxK and Workers echo the effective configuration.
 	MaxK    int
 	Workers int
+}
+
+// UpdateKind discriminates UpdateOp.
+type UpdateKind int
+
+const (
+	// UpdateInsert adds Record to the dataset.
+	UpdateInsert UpdateKind = iota
+	// UpdateDelete removes the record with id ID.
+	UpdateDelete
+)
+
+// UpdateOp is one element of an ApplyBatch request.
+type UpdateOp struct {
+	Kind   UpdateKind
+	Record []float64 // for UpdateInsert
+	ID     int       // for UpdateDelete
 }
 
 // subIndex is the candidate list for one top-k depth: the classic k-skyband
@@ -129,6 +195,44 @@ type Stats struct {
 type subIndex struct {
 	recs [][]float64
 	ids  []int
+}
+
+// index is one immutable-epoch view of the candidate lists. The superset
+// sub-index (depth MaxK) is fixed at publication and read without locking;
+// shallower depths are derived lazily into subs under mu — queries holding
+// the index pointer always see internally consistent candidate sets for
+// their epoch.
+type index struct {
+	epoch uint64
+	super *subIndex
+	mu    sync.Mutex
+	subs  map[int]*subIndex
+}
+
+// subFor returns the candidate list for depth k, deriving and caching it
+// from the superset on first use. Since the k-skyband of a k'-skyband
+// (k ≤ k') is the k-skyband of the underlying dataset, the derivation never
+// revisits the full data.
+func (ix *index) subFor(k, maxK int) *subIndex {
+	if k == maxK {
+		return ix.super
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if s, ok := ix.subs[k]; ok {
+		return s
+	}
+	base := ix.super
+	keep := skyband.ScanKSkyband(base.recs, k)
+	recs := make([][]float64, len(keep))
+	dsIDs := make([]int, len(keep))
+	for i, idx := range keep {
+		recs[i] = base.recs[idx]
+		dsIDs[i] = base.ids[idx]
+	}
+	s := &subIndex{recs: recs, ids: dsIDs}
+	ix.subs[k] = s
+	return s
 }
 
 // flight is one in-progress computation that concurrent identical queries
@@ -139,40 +243,52 @@ type flight struct {
 	err  error
 }
 
-// Engine serves UTK queries over one dataset. It is safe for concurrent use.
+// Engine serves UTK queries over one dataset and applies incremental
+// updates to it. It is safe for concurrent use.
 type Engine struct {
-	cfg          Config
-	dim          int
-	supersetSize int
+	cfg Config
+	dim int
 
 	sem chan struct{} // worker slots
 
-	// idxMu guards the lazily-built per-depth sub-indexes. subs[MaxK] is the
-	// full candidate superset, built at construction.
-	idxMu sync.Mutex
-	subs  map[int]*subIndex
+	// updMu serializes updates and guards dyn. Queries never take it: they
+	// read the epoch-versioned index snapshot below.
+	updMu sync.Mutex
+	dyn   *skyband.Dynamic
 
-	mu       sync.Mutex
-	cache    *lru
-	inflight map[string]*flight
-	queries  uint64
-	hits     uint64
-	misses   uint64
-	shared   uint64
-	evicted  uint64
-	rejected uint64
-	active   int
+	// idx is the current index snapshot; updates that change the superset
+	// publish a fresh one with a bumped epoch.
+	idx atomic.Pointer[index]
+
+	mu            sync.Mutex
+	cache         *lru
+	dynStats      skyband.DynamicStats // refreshed at the end of each batch
+	updating      bool                 // an ApplyBatch is probing the cache; finish skips caching
+	inflight      map[string]*flight
+	queries       uint64
+	hits          uint64
+	misses        uint64
+	shared        uint64
+	evicted       uint64
+	invalidations uint64
+	rejected      uint64
+	batches       uint64
+	active        int
 }
 
 // New builds an engine over an indexed dataset. records must be the exact
 // collection the tree was built from; the engine keeps references to the
-// record slices but never mutates them.
+// record slices but never mutates them, and subsequent updates to the engine
+// leave the caller's tree and records untouched.
 func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 	if t == nil || t.Len() == 0 {
 		return nil, core.ErrEmptyDataset
 	}
 	if cfg.MaxK <= 0 {
 		return nil, core.ErrBadK
+	}
+	if cfg.ShadowDepth < 1 {
+		cfg.ShadowDepth = cfg.MaxK
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -187,45 +303,242 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 		e.cache = newLRU(cfg.CacheEntries)
 	}
 	// The k-skyband at MaxK is the one region-independent superset of every
-	// r-skyband the engine can be asked for.
-	ids := skyband.KSkyband(t, cfg.MaxK)
-	supRecs := make([][]float64, len(ids))
-	for i, id := range ids {
-		supRecs[i] = records[id]
+	// r-skyband the engine can be asked for; the dynamic structure maintains
+	// it (plus its deletion-repair shadow) under updates. Seeding it with the
+	// tree's branch-and-bound skyband skips a full scan of the records.
+	dyn, err := skyband.NewDynamic(records, skyband.KSkyband(t, cfg.MaxK+cfg.ShadowDepth), cfg.MaxK, cfg.ShadowDepth)
+	if err != nil {
+		return nil, err
 	}
-	e.supersetSize = len(ids)
-	e.subs = map[int]*subIndex{cfg.MaxK: {recs: supRecs, ids: append([]int(nil), ids...)}}
+	e.dyn = dyn
+	e.dynStats = dyn.Stats()
+	ids, recs := dyn.Band()
+	e.idx.Store(bandIndex(0, ids, recs))
 	return e, nil
 }
 
-// indexFor returns the candidate list for depth k, deriving and caching it
-// from the superset on first use. Since the k-skyband of a k'-skyband
-// (k ≤ k') is the k-skyband of the underlying dataset, the derivation never
-// revisits the full data.
-func (e *Engine) indexFor(k int) *subIndex {
-	e.idxMu.Lock()
-	defer e.idxMu.Unlock()
-	if s, ok := e.subs[k]; ok {
-		return s
-	}
-	base := e.subs[e.cfg.MaxK]
-	keep := skyband.ScanKSkyband(base.recs, k)
-	recs := make([][]float64, len(keep))
-	dsIDs := make([]int, len(keep))
-	for i, idx := range keep {
-		recs[i] = base.recs[idx]
-		dsIDs[i] = base.ids[idx]
-	}
-	s := &subIndex{recs: recs, ids: dsIDs}
-	e.subs[k] = s
-	return s
+// bandIndex wraps a band snapshot (parallel id/record slices, treated as
+// immutable from here on) into a new index at the given epoch.
+func bandIndex(epoch uint64, ids []int, recs [][]float64) *index {
+	return &index{epoch: epoch, super: &subIndex{recs: recs, ids: ids}, subs: map[int]*subIndex{}}
 }
 
-// SupersetSize returns the size of the construction-time candidate superset.
-func (e *Engine) SupersetSize() int { return e.supersetSize }
+// SupersetSize returns the current size of the candidate superset.
+func (e *Engine) SupersetSize() int { return len(e.idx.Load().super.ids) }
 
 // MaxK returns the largest supported top-k depth.
 func (e *Engine) MaxK() int { return e.cfg.MaxK }
+
+// Epoch returns the current index version.
+func (e *Engine) Epoch() uint64 { return e.idx.Load().epoch }
+
+// UpdateResult reports the outcome of one ApplyBatch: the per-op ids and
+// the engine state as published by this batch (not a later concurrent one).
+type UpdateResult struct {
+	// IDs is index-aligned with the batch ops: assigned ids for inserts,
+	// the deleted ids for deletes.
+	IDs []int
+	// Epoch is the index version current when this batch was published.
+	Epoch uint64
+	// Live, SupersetSize, and ShadowSize snapshot the dataset right after
+	// this batch applied.
+	Live         int
+	SupersetSize int
+	ShadowSize   int
+}
+
+// Insert adds a record to the dataset and returns its assigned id.
+func (e *Engine) Insert(rec []float64) (int, error) {
+	res, err := e.ApplyBatch([]UpdateOp{{Kind: UpdateInsert, Record: rec}})
+	if err != nil {
+		return 0, err
+	}
+	return res.IDs[0], nil
+}
+
+// Delete removes the record with the given id.
+func (e *Engine) Delete(id int) error {
+	_, err := e.ApplyBatch([]UpdateOp{{Kind: UpdateDelete, ID: id}})
+	return err
+}
+
+// affectsTest is the deferred precise-invalidation probe for one update that
+// touched the band: the updated record plus the band state right after the
+// op was applied. A cached (region, k) entry is unaffected iff at least k
+// band members r-dominate the record throughout the region — then the record
+// belongs to no top-k set anywhere in the region, so neither its arrival nor
+// its departure can change the entry.
+type affectsTest struct {
+	rec     []float64
+	exclude int // band id to skip (the inserted record itself), or -1
+	recs    [][]float64
+	ids     []int
+}
+
+func (a *affectsTest) affects(r *geom.Region, k int) bool {
+	cnt := 0
+	for i, m := range a.recs {
+		if a.ids[i] != a.exclude && skyband.RDominates(m, a.rec, r) {
+			cnt++
+			if cnt >= k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApplyBatch applies a sequence of updates atomically with respect to
+// queries: every query observes either the pre-batch or the post-batch
+// candidate index, never an intermediate state. A validation error leaves
+// the engine unchanged; batches are not concurrency-transactional beyond
+// that (a failed mid-batch delete of a vanished id cannot occur, because
+// updates are serialized and ids are validated against liveness up front).
+func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
+	for _, op := range ops {
+		if op.Kind == UpdateInsert {
+			if len(op.Record) != e.dim {
+				return nil, ErrBadUpdate
+			}
+			for _, v := range op.Record {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, ErrBadUpdate
+				}
+			}
+		} else if op.Kind != UpdateDelete {
+			return nil, ErrBadUpdate
+		}
+	}
+
+	e.updMu.Lock()
+	defer e.updMu.Unlock()
+
+	// Validate delete ids against liveness (including ids assigned by
+	// earlier inserts of this batch) before touching anything, so a bad
+	// batch is a no-op.
+	inserted := map[int]bool{}
+	deleted := map[int]bool{}
+	nextID := e.dyn.NextID()
+	for _, op := range ops {
+		if op.Kind == UpdateInsert {
+			inserted[nextID] = true
+			nextID++
+			continue
+		}
+		if deleted[op.ID] || (!inserted[op.ID] && !e.dyn.Has(op.ID)) {
+			return nil, ErrUnknownRecord
+		}
+		deleted[op.ID] = true
+	}
+
+	// snapIDs/snapRecs hold the most recent band snapshot, valid only while
+	// no later op has changed the band again; a still-valid snapshot is
+	// reused for the published index instead of re-sorting the band.
+	ids := make([]int, len(ops))
+	var tests []affectsTest
+	var snapIDs []int
+	var snapRecs [][]float64
+	bandChanged := false
+	for i, op := range ops {
+		if op.Kind == UpdateInsert {
+			id, eff := e.dyn.Insert(op.Record)
+			ids[i] = id
+			if eff.BandChanged {
+				bandChanged = true
+				snapIDs, snapRecs = nil, nil
+			}
+			if eff.InBand && e.cache != nil {
+				// The newcomer reaches depth < MaxK somewhere; cached regions
+				// it cannot reach at their own depth still survive the probe.
+				// (Probe state is skipped entirely on cache-less engines.)
+				snapIDs, snapRecs = e.dyn.Band()
+				tests = append(tests, affectsTest{rec: e.dyn.Record(id), exclude: id, recs: snapRecs, ids: snapIDs})
+			}
+		} else {
+			rec, eff, ok := e.dyn.Delete(op.ID)
+			if !ok {
+				// Unreachable after validation; kept as a defensive error.
+				return nil, ErrUnknownRecord
+			}
+			ids[i] = op.ID
+			if eff.BandChanged {
+				bandChanged = true
+				snapIDs, snapRecs = nil, nil
+			}
+			if eff.InBand && e.cache != nil {
+				// Post-delete band: the departed record's r-dominators are
+				// all still members (deleting a record never removes its
+				// dominators), so the probe stays exact.
+				snapIDs, snapRecs = e.dyn.Band()
+				tests = append(tests, affectsTest{rec: rec, exclude: -1, recs: snapRecs, ids: snapIDs})
+			}
+		}
+	}
+
+	dynStats := e.dyn.Stats()
+
+	// Probe-and-publish. The r-dominance probes (cache entries × updates ×
+	// band) run outside e.mu so concurrent queries — cache hits especially —
+	// never queue behind them. Ordering makes the window invisible:
+	//
+	//   1. Under mu, snapshot the resident entries and raise `updating`, so
+	//      a computation finishing mid-window cannot add an entry the
+	//      snapshot missed.
+	//   2. Probe outside mu. Hits served meanwhile come from pre-update
+	//      entries while the epoch is still the old one — the batch has not
+	//      been published, so those answers are simply "before the update".
+	//   3. Under mu, evict the affected keys and only then publish the new
+	//      epoch: no query can observe the new epoch while a stale entry is
+	//      still hittable, and entries cached after publication pass
+	//      finish's current-epoch check, i.e. reflect this batch.
+	var entries []cacheEntryView
+	if e.cache != nil && len(tests) > 0 {
+		e.mu.Lock()
+		entries = e.cache.snapshot()
+		e.updating = true
+		e.mu.Unlock()
+	}
+	var affected []string
+	for _, ent := range entries {
+		for i := range tests {
+			if tests[i].affects(ent.region, ent.k) {
+				affected = append(affected, ent.key)
+				break
+			}
+		}
+	}
+	// The band sort+copy of the new snapshot also stays off e.mu: updMu
+	// keeps dyn and the epoch stable, so only the pointer swap needs the
+	// lock. When the last probe snapshot still reflects the final band —
+	// the whole single-op Insert/Delete path — it is reused as-is.
+	var fresh *index
+	if bandChanged {
+		if snapIDs == nil {
+			snapIDs, snapRecs = e.dyn.Band()
+		}
+		fresh = bandIndex(e.idx.Load().epoch+1, snapIDs, snapRecs)
+	}
+	e.mu.Lock()
+	e.batches++
+	e.dynStats = dynStats
+	if len(affected) > 0 {
+		e.invalidations += uint64(e.cache.evictKeys(affected))
+	}
+	if fresh != nil {
+		e.idx.Store(fresh)
+	}
+	e.updating = false
+	epoch := e.idx.Load().epoch
+	e.mu.Unlock()
+
+	return &UpdateResult{
+		IDs:          ids,
+		Epoch:        epoch,
+		Live:         dynStats.Live,
+		SupersetSize: dynStats.Band,
+		ShadowSize:   dynStats.Shadow,
+	}, nil
+}
 
 // Do answers one request, consulting the cache, deduplicating against
 // identical in-flight queries, and otherwise computing on a pooled worker.
@@ -242,64 +555,107 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 	}
 	key := fingerprint(req.Variant, req.K, req.Region, req.Opts)
 
-	var fl *flight
-	for fl == nil {
-		e.mu.Lock()
-		if e.cache != nil {
-			if res, ok := e.cache.get(key); ok {
-				e.hits++
-				e.queries++
+	// A leader whose snapshot is superseded mid-refinement abandons its
+	// flight and re-enters the election below, so identical queries at the
+	// fresh epoch coalesce onto one new computation. The retry budget
+	// guards the no-deadline case against update storms: once exhausted,
+	// the refinement runs to completion on whatever snapshot it has.
+	supersedeRetries := 3
+	for {
+		// Election: answer from the cache, join an identical in-flight
+		// computation, or become the leader for the current epoch. Flights
+		// are scoped to an epoch so late arrivals never coalesce onto a
+		// computation over a superseded candidate index; the cache key is
+		// epoch-free because precise invalidation keeps surviving entries
+		// exact across epochs.
+		// One idx load serves both the flight key and the computation, so a
+		// flight is always keyed to the epoch its leader actually computes
+		// against — an update landing in between makes the supersede hook
+		// fire on the first poll and the leader re-elect, rather than
+		// computing the new epoch's answer outside its single-flight group.
+		var fl *flight
+		var flKey string
+		var ix *index
+		for fl == nil {
+			ix = e.idx.Load()
+			flKey = flightKey(ix.epoch, key)
+			e.mu.Lock()
+			if e.cache != nil {
+				if res, ok := e.cache.get(key); ok {
+					e.hits++
+					e.queries++
+					e.mu.Unlock()
+					hit := *res
+					hit.CacheHit = true
+					return &hit, nil
+				}
+			}
+			if other, ok := e.inflight[flKey]; ok {
 				e.mu.Unlock()
-				hit := *res
-				hit.CacheHit = true
-				return &hit, nil
+				res, err := e.wait(ctx, other)
+				if errors.Is(err, errAborted) {
+					continue // the leader never finished; elect a new leader
+				}
+				return res, err
 			}
-		}
-		if other, ok := e.inflight[key]; ok {
+			fl = &flight{done: make(chan struct{})}
+			e.inflight[flKey] = fl
 			e.mu.Unlock()
-			res, err := e.wait(ctx, other)
-			if errors.Is(err, errAborted) {
-				continue // the leader never started; elect a new one
+		}
+
+		// The explicit pre-check keeps an already-expired context from
+		// racing a free worker slot in the select below.
+		acquired := false
+		if ctx.Err() == nil {
+			select {
+			case e.sem <- struct{}{}:
+				acquired = true
+			case <-ctx.Done():
 			}
-			return res, err
 		}
-		fl = &flight{done: make(chan struct{})}
-		e.inflight[key] = fl
-		e.mu.Unlock()
-	}
-
-	// The explicit pre-check keeps an already-expired context from racing a
-	// free worker slot in the select below.
-	acquired := false
-	if ctx.Err() == nil {
-		select {
-		case e.sem <- struct{}{}:
-			acquired = true
-		case <-ctx.Done():
+		if !acquired {
+			e.finish(flKey, key, fl, nil, errAborted, req)
+			e.mu.Lock()
+			e.rejected++
+			e.mu.Unlock()
+			return nil, ctx.Err()
 		}
-	}
-	if !acquired {
-		e.finish(key, fl, nil, errAborted)
 		e.mu.Lock()
-		e.rejected++
+		e.active++
 		e.mu.Unlock()
-		return nil, ctx.Err()
-	}
-	e.mu.Lock()
-	e.active++
-	e.mu.Unlock()
-	res, err := e.compute(req)
-	e.mu.Lock()
-	e.active--
-	e.mu.Unlock()
-	<-e.sem
-	e.finish(key, fl, res, err)
 
-	e.mu.Lock()
-	e.misses++
-	e.queries++
-	e.mu.Unlock()
-	return res, err
+		res, err := e.compute(ctx, req, ix, supersedeRetries > 0)
+		e.mu.Lock()
+		e.active--
+		e.mu.Unlock()
+		<-e.sem
+
+		if errors.Is(err, core.ErrCanceled) {
+			// Either way the waiters re-elect rather than inheriting this
+			// leader's fate.
+			e.finish(flKey, key, fl, nil, errAborted, req)
+			if ctx.Err() == nil && e.idx.Load() != ix {
+				supersedeRetries--
+				continue // superseded: re-elect at the fresh epoch
+			}
+			err = ctx.Err()
+			if err == nil {
+				// Defensive: a cancel verdict with a live context and a
+				// current snapshot should not happen.
+				err = core.ErrCanceled
+			}
+			e.mu.Lock()
+			e.rejected++
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.finish(flKey, key, fl, res, err, req)
+		e.mu.Lock()
+		e.misses++
+		e.queries++
+		e.mu.Unlock()
+		return res, err
+	}
 }
 
 // DoBatch answers a batch of requests concurrently (bounded by the worker
@@ -319,21 +675,38 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request) ([]*Result, []erro
 	return results, errs
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. The dynamic-skyband
+// counters reflect the last completed update batch — Stats never waits on an
+// in-progress update (in particular not on a shadow-exhaustion rebuild), so
+// monitoring stays responsive exactly when updates are slow.
 func (e *Engine) Stats() Stats {
+	epoch := e.idx.Load().epoch
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	ds := e.dynStats
 	st := Stats{
-		Queries:      e.queries,
-		Hits:         e.hits,
-		Misses:       e.misses,
-		Shared:       e.shared,
-		Evictions:    e.evicted,
-		Rejected:     e.rejected,
-		InFlight:     e.active,
-		SupersetSize: e.supersetSize,
-		MaxK:         e.cfg.MaxK,
-		Workers:      e.cfg.Workers,
+		Queries:         e.queries,
+		Hits:            e.hits,
+		Misses:          e.misses,
+		Shared:          e.shared,
+		Evictions:       e.evicted,
+		Invalidations:   e.invalidations,
+		Rejected:        e.rejected,
+		InFlight:        e.active,
+		Epoch:           epoch,
+		Live:            ds.Live,
+		SupersetSize:    ds.Band,
+		ShadowSize:      ds.Shadow,
+		Coverage:        ds.Coverage,
+		Inserts:         ds.Inserts,
+		Deletes:         ds.Deletes,
+		UpdateBatches:   e.batches,
+		Promotions:      ds.Promotions,
+		Demotions:       ds.Demotions,
+		ShadowEvictions: ds.Evictions,
+		Rebuilds:        ds.Rebuilds,
+		MaxK:            e.cfg.MaxK,
+		Workers:         e.cfg.Workers,
 	}
 	if e.cache != nil {
 		st.CacheEntries = e.cache.len()
@@ -358,17 +731,28 @@ func (e *Engine) validate(req Request) error {
 }
 
 // compute is the warm query path: rebuild only the region-specific
-// r-dominance graph, filtering over the construction-time superset tree
-// instead of the whole dataset, then refine.
-func (e *Engine) compute(req Request) (*Result, error) {
+// r-dominance graph, filtering over the maintained superset snapshot instead
+// of the whole dataset, then refine. When abortOnSupersede is set, the
+// refinement is additionally canceled as soon as the snapshot is superseded
+// by an update (Do then retries on the fresh one).
+func (e *Engine) compute(ctx context.Context, req Request, ix *index, abortOnSupersede bool) (*Result, error) {
 	st := &core.Stats{}
 	opts := req.Opts
 	opts.Workers = 0 // concurrency comes from the engine pool
+	done := ctx.Done()
+	opts.Cancel = func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		return abortOnSupersede && e.idx.Load() != ix
+	}
 	start := time.Now()
-	sub := e.indexFor(req.K)
+	sub := ix.subFor(req.K, e.cfg.MaxK)
 	g := skyband.ScanGraph(sub.recs, sub.ids, req.Region, req.K)
 	st.FilterDuration = time.Since(start)
-	res := &Result{}
+	res := &Result{Epoch: ix.epoch}
 	switch req.Variant {
 	case UTK1:
 		ids, err := core.RSAFromGraph(g, req.Region, req.K, opts, st)
@@ -390,13 +774,18 @@ func (e *Engine) compute(req Request) (*Result, error) {
 	return res, nil
 }
 
-// finish publishes the flight outcome, caches successes, and wakes waiters.
-func (e *Engine) finish(key string, fl *flight, res *Result, err error) {
+// finish publishes the flight outcome, caches fresh successes, and wakes
+// waiters. Results computed against a superseded snapshot are served to
+// their waiters (they observed a consistent pre-update state) but never
+// cached, and nothing is cached while an update's invalidation probes are
+// between their cache snapshot and their eviction — either way the scan
+// would not see the entry.
+func (e *Engine) finish(flKey, key string, fl *flight, res *Result, err error, req Request) {
 	fl.res, fl.err = res, err
 	e.mu.Lock()
-	delete(e.inflight, key)
-	if err == nil && e.cache != nil {
-		if e.cache.add(key, res) {
+	delete(e.inflight, flKey)
+	if err == nil && e.cache != nil && !e.updating && res.Epoch == e.idx.Load().epoch {
+		if e.cache.add(key, req.Region, req.K, res) {
 			e.evicted++
 		}
 	}
@@ -425,4 +814,11 @@ func (e *Engine) wait(ctx context.Context, fl *flight) (*Result, error) {
 	e.queries++
 	e.mu.Unlock()
 	return fl.res, fl.err
+}
+
+// flightKey scopes a cache fingerprint to an index epoch.
+func flightKey(epoch uint64, key string) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], epoch)
+	return string(b[:]) + key
 }

@@ -1,0 +1,377 @@
+package skyband
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Dynamic maintains the classic k-skyband of a mutable record collection
+// under inserts and deletes, in the style of fully dynamic skyband structures
+// for uncertain top-k processing (Patil et al.): only the skyband-style
+// superset needs dynamization, because the region-specific r-dominance graph
+// is rebuilt per query anyway.
+//
+// The structure tracks a member set deeper than the band it serves: every
+// live record whose exact dominator count is below an eviction cap
+// capK = k + shadowDepth. Members with count < k form the band (the exact
+// classic k-skyband); members with count in [k, capK) form the shadow band —
+// near-skyband records retained so that deletions can promote replacements
+// locally instead of rescanning the dataset.
+//
+// Exactness rests on two facts, both consequences of the transitivity and
+// strictness of dominance (a dominator of q has strictly fewer dominators
+// than q):
+//
+//  1. Every dominator of a member is itself a member, so member counts can
+//     be maintained exactly by adjusting them against each inserted or
+//     deleted record.
+//  2. Counting dominators of a probe record within the member set yields
+//     min(true count, coverage) exactly, so membership decisions on insert
+//     need no access to non-members.
+//
+// Deletions erode the guarantee from the bottom: removing a member with
+// count c may leave some untracked record (count ≥ coverage before the
+// delete) with one dominator fewer, so the coverage depth — the count below
+// which every live record is guaranteed to be a member — drops by one, but
+// only when c was below the current coverage (otherwise every record the
+// deletion touches still has at least coverage dominators). When coverage
+// would drop below k the band itself is no longer trustworthy and the
+// structure falls back to a full recomputation over the live records,
+// restoring coverage to capK. A deeper shadow (larger shadowDepth) buys more
+// skyline-area deletions between rebuilds.
+//
+// Dynamic is not safe for concurrent use; callers serialize access.
+type Dynamic struct {
+	k    int // band depth served to queries
+	capK int // retention depth: members are records with count < capK
+	cov  int // coverage: every live record with count < cov is a member
+
+	live   map[int][]float64 // all live records by id
+	ents   []dynEntry        // members (band ∪ shadow), unordered
+	pos    map[int]int       // member id -> index into ents
+	band   int               // members with count < k
+	nextID int
+
+	inserts    uint64
+	deletes    uint64
+	promotions uint64
+	demotions  uint64
+	evictions  uint64
+	rebuilds   uint64
+}
+
+type dynEntry struct {
+	id    int
+	rec   []float64
+	count int // exact number of live dominators
+}
+
+// Effect reports how one update changed the structure.
+type Effect struct {
+	// BandChanged reports whether band membership changed at all: queries
+	// whose candidate superset is the band must refresh it.
+	BandChanged bool
+	// InBand reports whether the updated record itself is (insert) or was
+	// (delete) a band member. A record outside the band is dominated by at
+	// least k others, so its arrival or departure cannot change any top-k
+	// result at depth ≤ k anywhere in the preference domain.
+	InBand bool
+	// Rebuilt reports whether this update exhausted the shadow band and
+	// forced a full recomputation.
+	Rebuilt bool
+}
+
+// DynamicStats is a snapshot of the structure's state and lifetime counters.
+type DynamicStats struct {
+	// Live is the current record population; Band and Shadow split the
+	// member set at depth k.
+	Live   int
+	Band   int
+	Shadow int
+	// Coverage is the dominator-count depth up to which membership is
+	// currently guaranteed (capK right after construction or a rebuild,
+	// eroded by at most one per band/shadow deletion in between).
+	Coverage int
+	// Inserts and Deletes count applied updates.
+	Inserts uint64
+	Deletes uint64
+	// Promotions counts shadow members whose count dropped below k after a
+	// delete; Demotions counts band members pushed to count ≥ k by an
+	// insert; Evictions counts members dropped past the retention depth.
+	Promotions uint64
+	Demotions  uint64
+	Evictions  uint64
+	// Rebuilds counts shadow-exhaustion recomputations.
+	Rebuilds uint64
+}
+
+// NewDynamic builds the structure over the initial records (ids 0..n-1).
+// superset, when non-nil, must contain (at least) every record index whose
+// dominator count is below k+shadowDepth — e.g. KSkyband(tree, k+shadowDepth)
+// — and lets construction skip its own scan over the full dataset. The
+// records and the superset slice are not retained or mutated.
+func NewDynamic(records [][]float64, superset []int, k, shadowDepth int) (*Dynamic, error) {
+	if k <= 0 {
+		return nil, errors.New("skyband: dynamic band depth must be positive")
+	}
+	if shadowDepth < 0 {
+		return nil, errors.New("skyband: negative shadow depth")
+	}
+	d := &Dynamic{
+		k:      k,
+		capK:   k + shadowDepth,
+		live:   make(map[int][]float64, len(records)),
+		nextID: len(records),
+	}
+	for id, rec := range records {
+		d.live[id] = rec
+	}
+	if superset == nil {
+		d.rebuild()
+		d.rebuilds = 0
+	} else {
+		recs := make([][]float64, len(superset))
+		for i, id := range superset {
+			recs[i] = records[id]
+		}
+		d.setMembers(recs, superset)
+	}
+	return d, nil
+}
+
+// Insert adds a record (the slice is copied) and returns its assigned id.
+func (d *Dynamic) Insert(rec []float64) (int, Effect) {
+	id := d.nextID
+	d.nextID++
+	cp := append([]float64(nil), rec...)
+	d.live[id] = cp
+	d.inserts++
+	var eff Effect
+
+	// Exact dominator count of the newcomer within the member set, capped at
+	// the coverage depth (beyond which membership is not required and counts
+	// within the member set are no longer exact).
+	c := 0
+	for i := range d.ents {
+		if geom.Dominates(d.ents[i].rec, cp) {
+			c++
+			if c >= d.cov {
+				break
+			}
+		}
+	}
+
+	// The newcomer adds one dominator to every member it dominates. A member
+	// crossing depth k leaves the band; one crossing capK is dropped.
+	for i := 0; i < len(d.ents); {
+		e := &d.ents[i]
+		if geom.Dominates(cp, e.rec) {
+			e.count++
+			if e.count == d.k {
+				d.band--
+				d.demotions++
+				eff.BandChanged = true
+			}
+			if e.count >= d.capK {
+				d.evictions++
+				d.removeAt(i)
+				continue
+			}
+		}
+		i++
+	}
+
+	if c < d.cov {
+		d.addEntry(dynEntry{id: id, rec: cp, count: c})
+		if c < d.k {
+			d.band++
+			eff.BandChanged = true
+			eff.InBand = true
+		}
+	}
+	return id, eff
+}
+
+// Delete removes a record by id, returning its coordinates. ok is false when
+// the id is not live.
+func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
+	rec, ok = d.live[id]
+	if !ok {
+		return nil, Effect{}, false
+	}
+	delete(d.live, id)
+	d.deletes++
+
+	wasMember := false
+	memberCount := 0
+	if i, isMem := d.pos[id]; isMem {
+		wasMember = true
+		memberCount = d.ents[i].count
+		if memberCount < d.k {
+			d.band--
+			eff.InBand = true
+			eff.BandChanged = true
+		}
+		d.removeAt(i)
+	}
+
+	// The departed record was one dominator of every member it dominated.
+	// Shadow members dropping below depth k are promoted into the band —
+	// the local repair that makes deletion cheap.
+	for i := range d.ents {
+		e := &d.ents[i]
+		if geom.Dominates(rec, e.rec) {
+			e.count--
+			if e.count == d.k-1 {
+				d.band++
+				d.promotions++
+				eff.BandChanged = true
+			}
+		}
+	}
+
+	// Untracked records dominated by the departed one may now sit one count
+	// below the coverage depth; the guarantee erodes unless the departed
+	// record's own count already met it.
+	if wasMember && memberCount < d.cov {
+		d.cov--
+		if d.cov < d.k {
+			// Shadow exhausted: the band can no longer vouch for complete
+			// membership. Recompute from the live records.
+			d.rebuild()
+			eff.BandChanged = true
+			eff.Rebuilt = true
+		}
+	}
+	return rec, eff, true
+}
+
+// Band returns the current k-skyband as parallel id/record slices sorted by
+// ascending id. The returned slices are fresh; the record slices are shared
+// and must not be mutated.
+func (d *Dynamic) Band() ([]int, [][]float64) {
+	ids := make([]int, 0, d.band)
+	for i := range d.ents {
+		if d.ents[i].count < d.k {
+			ids = append(ids, d.ents[i].id)
+		}
+	}
+	sort.Ints(ids)
+	recs := make([][]float64, len(ids))
+	for i, id := range ids {
+		recs[i] = d.ents[d.pos[id]].rec
+	}
+	return ids, recs
+}
+
+// Len returns the number of live records.
+func (d *Dynamic) Len() int { return len(d.live) }
+
+// Has reports whether id is live.
+func (d *Dynamic) Has(id int) bool { _, ok := d.live[id]; return ok }
+
+// Record returns the coordinates of a live record (shared slice; do not
+// mutate), or nil when the id is not live.
+func (d *Dynamic) Record(id int) []float64 { return d.live[id] }
+
+// K returns the band depth.
+func (d *Dynamic) K() int { return d.k }
+
+// NextID returns the id the next insert will be assigned.
+func (d *Dynamic) NextID() int { return d.nextID }
+
+// Stats returns a snapshot of sizes and lifetime counters.
+func (d *Dynamic) Stats() DynamicStats {
+	return DynamicStats{
+		Live:       len(d.live),
+		Band:       d.band,
+		Shadow:     len(d.ents) - d.band,
+		Coverage:   d.cov,
+		Inserts:    d.inserts,
+		Deletes:    d.deletes,
+		Promotions: d.promotions,
+		Demotions:  d.demotions,
+		Evictions:  d.evictions,
+		Rebuilds:   d.rebuilds,
+	}
+}
+
+// Rebuild recomputes the member set from the live records, restoring the
+// coverage depth to capK. It is invoked automatically when a deletion
+// exhausts the shadow band, and exposed for tests and benchmarks.
+func (d *Dynamic) Rebuild() { d.rebuild() }
+
+func (d *Dynamic) addEntry(e dynEntry) {
+	d.pos[e.id] = len(d.ents)
+	d.ents = append(d.ents, e)
+}
+
+// removeAt drops the member at position i by swapping in the last entry.
+func (d *Dynamic) removeAt(i int) {
+	last := len(d.ents) - 1
+	delete(d.pos, d.ents[i].id)
+	if i != last {
+		d.ents[i] = d.ents[last]
+		d.pos[d.ents[i].id] = i
+	}
+	d.ents = d.ents[:last]
+}
+
+// rebuild recomputes members and exact counts from the live records.
+func (d *Dynamic) rebuild() {
+	ids := make([]int, 0, len(d.live))
+	for id := range d.live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	recs := make([][]float64, len(ids))
+	for i, id := range ids {
+		recs[i] = d.live[id]
+	}
+	d.setMembers(recs, ids)
+	d.rebuilds++
+}
+
+// setMembers computes exact member counts over a candidate pool that must
+// contain every record with dominator count < capK (the pool may be the full
+// dataset). Records are visited in strictly non-increasing coordinate-sum
+// order; dominance implies a strictly larger sum, so every dominator of a
+// record is visited (and kept, if its own count is below capK) before the
+// record itself, making the counts exact up to the capK cap.
+func (d *Dynamic) setMembers(recs [][]float64, ids []int) {
+	order := make([]int, len(recs))
+	sums := make([]float64, len(recs))
+	for i, rec := range recs {
+		order[i] = i
+		s := 0.0
+		for _, v := range rec {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+
+	d.ents = d.ents[:0]
+	d.pos = make(map[int]int, 4*d.capK)
+	d.band = 0
+	for _, i := range order {
+		c := 0
+		for j := range d.ents {
+			if geom.Dominates(d.ents[j].rec, recs[i]) {
+				c++
+				if c >= d.capK {
+					break
+				}
+			}
+		}
+		if c < d.capK {
+			d.addEntry(dynEntry{id: ids[i], rec: recs[i], count: c})
+			if c < d.k {
+				d.band++
+			}
+		}
+	}
+	d.cov = d.capK
+}
