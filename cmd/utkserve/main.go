@@ -1,23 +1,22 @@
-// Command utkserve exposes a utk.Engine over HTTP JSON: an amortized
-// query-serving daemon for repeated UTK traffic against one dataset.
+// Command utkserve exposes a registry of utk serving engines over HTTP JSON:
+// an amortized query-serving daemon hosting one or many datasets, each
+// single-partition or sharded.
 //
 //	utkserve -gen IND -n 100000 -d 4 -maxk 20 -addr :8080
-//	utkserve -data hotels.csv -maxk 10 -cache 1024 -timeout 2s
+//	utkserve -data hotels.csv -name hotels -maxk 10 -shards 4 -cache 1024 -timeout 2s
 //
-// Endpoints:
+// The flags register one initial dataset (default name "default"); further
+// datasets can be created and dropped over HTTP unless -no-admin is set.
+// Endpoints (see the server package for bodies):
 //
-//	POST /utk1   {"k": 10, "region": {"lo": [0.2,0.2,0.2], "hi": [0.3,0.3,0.3]}}
-//	POST /utk2   same request body; returns the region partitioning
-//	POST /update {"delete": [3, 17], "insert": [[0.5, 0.2, 0.9], ...]}
-//	GET  /stats  engine counters (cache, updates, epoch, shadow band)
+//	POST   /utk1/{dataset}    POST /utk2/{dataset}    POST /update/{dataset}
+//	GET    /stats             GET  /stats/{dataset}   GET  /datasets
+//	POST   /datasets/{name}   DELETE /datasets/{name}
 //
-// /update applies deletes before inserts, as one atomic batch: concurrent
-// queries observe either none or all of it. The response carries the ids
-// assigned to the inserted records and the post-update engine state.
-//
-// A general convex region may be given instead of a box:
-//
-//	{"k": 5, "halfspaces": [{"coef": [1, 1], "offset": 0.3}, ...]}
+// Dataset-less legacy paths (POST /utk1, /utk2, /update) resolve while
+// exactly one dataset is registered. With -shards above 1 the initial
+// dataset is horizontally partitioned; queries are answered exactly by
+// merging per-shard candidate supersets into one global refinement.
 //
 // CSV input is one record per line, numeric fields only; higher values are
 // better in every column.
@@ -25,9 +24,6 @@ package main
 
 import (
 	"bufio"
-	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,8 +33,9 @@ import (
 	"strings"
 	"time"
 
-	"repro"
 	"repro/internal/dataset"
+	"repro/internal/registry"
+	"repro/internal/server"
 )
 
 func main() {
@@ -49,11 +46,15 @@ func main() {
 		n        = flag.Int("n", 100000, "generated dataset cardinality")
 		d        = flag.Int("d", 4, "generated dataset dimensionality (synthetic kinds only)")
 		seed     = flag.Int64("seed", 1, "generation seed")
+		name     = flag.String("name", "default", "name of the initial dataset")
+		shards   = flag.Int("shards", 1, "horizontal partitions of the initial dataset (1 = unsharded)")
 		maxK     = flag.Int("maxk", 20, "largest top-k depth the engine serves")
 		shadow   = flag.Int("shadow", 0, "deletion-repair shadow depth beyond maxk (0 = maxk)")
-		cache    = flag.Int("cache", utk.DefaultEngineCacheEntries, "LRU result-cache entries (negative disables)")
+		cache    = flag.Int("cache", 0, "LRU result-cache entries (0 = default, negative disables)")
 		workers  = flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-query deadline (0 = none)")
+		noAdmin  = flag.Bool("no-admin", false, "disable dataset create/drop over HTTP")
+		maxBody  = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default)")
 	)
 	flag.Parse()
 
@@ -61,11 +62,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	ds, err := utk.NewDataset(records)
-	if err != nil {
-		fail(err)
-	}
-	engine, err := ds.NewEngine(utk.EngineConfig{
+	reg := registry.New()
+	ent, err := reg.Create(*name, records, registry.Options{
+		Shards:       *shards,
 		MaxK:         *maxK,
 		ShadowDepth:  *shadow,
 		CacheEntries: *cache,
@@ -75,216 +74,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv := &server{ds: ds, engine: engine}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/utk1", srv.handleUTK1)
-	mux.HandleFunc("/utk2", srv.handleUTK2)
-	mux.HandleFunc("/update", srv.handleUpdate)
-	mux.HandleFunc("/stats", srv.handleStats)
-	log.Printf("utkserve: %d records, %d attributes, maxk=%d, superset=%d, listening on %s",
-		ds.Len(), ds.Dim(), *maxK, engine.Stats().SupersetSize, *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	handler := server.New(reg, server.Config{
+		MaxBodyBytes: *maxBody,
+		AllowCreate:  !*noAdmin,
+	})
+	st := ent.Engine.Stats()
+	log.Printf("utkserve: dataset %q: %d records, %d attributes, maxk=%d, shards=%d, superset=%d, listening on %s",
+		ent.Name, ent.Dataset.Len(), ent.Dataset.Dim(), *maxK, ent.Engine.Shards(), st.SupersetSize, *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fail(err)
-	}
-}
-
-type server struct {
-	ds     *utk.Dataset
-	engine *utk.Engine
-}
-
-// queryRequest is the JSON body of /utk1 and /utk2.
-type queryRequest struct {
-	K      int `json:"k"`
-	Region *struct {
-		Lo []float64 `json:"lo"`
-		Hi []float64 `json:"hi"`
-	} `json:"region"`
-	Halfspaces []struct {
-		Coef   []float64 `json:"coef"`
-		Offset float64   `json:"offset"`
-	} `json:"halfspaces"`
-}
-
-type statsPayload struct {
-	Candidates     int     `json:"candidates"`
-	FilterMillis   float64 `json:"filter_ms"`
-	RefineMillis   float64 `json:"refine_ms"`
-	Partitions     int     `json:"partitions,omitempty"`
-	UniqueTopKSets int     `json:"unique_top_k_sets,omitempty"`
-}
-
-func statsPayloadFrom(st utk.Stats) statsPayload {
-	return statsPayload{
-		Candidates:     st.Candidates,
-		FilterMillis:   float64(st.FilterDuration.Microseconds()) / 1000,
-		RefineMillis:   float64(st.RefineDuration.Microseconds()) / 1000,
-		Partitions:     st.Partitions,
-		UniqueTopKSets: st.UniqueTopKSets,
-	}
-}
-
-func (s *server) parse(w http.ResponseWriter, r *http.Request) (utk.Query, bool) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return utk.Query{}, false
-	}
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return utk.Query{}, false
-	}
-	var region *utk.Region
-	var err error
-	switch {
-	case req.Region != nil:
-		region, err = utk.NewBoxRegion(req.Region.Lo, req.Region.Hi)
-	case len(req.Halfspaces) > 0:
-		hs := make([]utk.Halfspace, len(req.Halfspaces))
-		for i, h := range req.Halfspaces {
-			hs[i] = utk.Halfspace{Coef: h.Coef, Offset: h.Offset}
-		}
-		region, err = utk.NewPolytopeRegion(s.ds.Dim()-1, hs)
-	default:
-		err = fmt.Errorf("provide region {lo, hi} or halfspaces")
-	}
-	if err != nil {
-		http.Error(w, "bad region: "+err.Error(), http.StatusBadRequest)
-		return utk.Query{}, false
-	}
-	return utk.Query{K: req.K, Region: region}, true
-}
-
-func (s *server) handleUTK1(w http.ResponseWriter, r *http.Request) {
-	q, ok := s.parse(w, r)
-	if !ok {
-		return
-	}
-	res, err := s.engine.UTK1(r.Context(), q)
-	if err != nil {
-		queryError(w, err)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"records":   res.Records,
-		"cache_hit": res.CacheHit,
-		"stats":     statsPayloadFrom(res.Stats),
-	})
-}
-
-func (s *server) handleUTK2(w http.ResponseWriter, r *http.Request) {
-	q, ok := s.parse(w, r)
-	if !ok {
-		return
-	}
-	res, err := s.engine.UTK2(r.Context(), q)
-	if err != nil {
-		queryError(w, err)
-		return
-	}
-	type cellPayload struct {
-		TopK     []int     `json:"top_k"`
-		Interior []float64 `json:"interior"`
-	}
-	cells := make([]cellPayload, len(res.Cells))
-	for i, c := range res.Cells {
-		cells[i] = cellPayload{TopK: c.TopK, Interior: c.Interior}
-	}
-	writeJSON(w, map[string]any{
-		"cells":     cells,
-		"cache_hit": res.CacheHit,
-		"stats":     statsPayloadFrom(res.Stats),
-	})
-}
-
-// updateRequest is the JSON body of /update. Deletes apply before inserts.
-type updateRequest struct {
-	Delete []int       `json:"delete"`
-	Insert [][]float64 `json:"insert"`
-}
-
-func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	var req updateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(req.Delete)+len(req.Insert) == 0 {
-		http.Error(w, "provide delete ids and/or insert records", http.StatusBadRequest)
-		return
-	}
-	ops := make([]utk.UpdateOp, 0, len(req.Delete)+len(req.Insert))
-	for _, id := range req.Delete {
-		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateDelete, ID: id})
-	}
-	for _, rec := range req.Insert {
-		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateInsert, Record: rec})
-	}
-	res, err := s.engine.ApplyBatch(ops)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, utk.ErrUnknownRecord) {
-			status = http.StatusNotFound
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"deleted":      req.Delete,
-		"inserted_ids": res.IDs[len(req.Delete):],
-		"epoch":        res.Epoch,
-		"live":         res.Live,
-		"superset":     res.SupersetSize,
-		"shadow":       res.ShadowSize,
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.engine.Stats()
-	writeJSON(w, map[string]any{
-		"queries":          st.Queries,
-		"hits":             st.Hits,
-		"misses":           st.Misses,
-		"shared":           st.Shared,
-		"evictions":        st.Evictions,
-		"invalidations":    st.Invalidations,
-		"rejected":         st.Rejected,
-		"in_flight":        st.InFlight,
-		"cache_entries":    st.CacheEntries,
-		"epoch":            st.Epoch,
-		"live":             st.Live,
-		"superset_size":    st.SupersetSize,
-		"shadow_size":      st.ShadowSize,
-		"coverage":         st.Coverage,
-		"inserts":          st.Inserts,
-		"deletes":          st.Deletes,
-		"update_batches":   st.UpdateBatches,
-		"promotions":       st.Promotions,
-		"demotions":        st.Demotions,
-		"shadow_evictions": st.ShadowEvictions,
-		"rebuilds":         st.Rebuilds,
-		"max_k":            st.MaxK,
-		"workers":          st.Workers,
-	})
-}
-
-func queryError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		status = http.StatusServiceUnavailable
-	}
-	http.Error(w, err.Error(), status)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("utkserve: write response: %v", err)
 	}
 }
 

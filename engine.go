@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/shard"
 )
 
 // EngineConfig tunes a query-serving Engine.
@@ -52,9 +53,26 @@ const DefaultEngineCacheEntries = 256
 // record collection, with inserted records assigned fresh ids above the
 // Dataset's range. Before any update, answers equal the direct
 // Dataset.UTK1 and Dataset.UTK2 calls.
+//
+// An Engine is backed either by a single serving engine (NewEngine) or by a
+// horizontally sharded one (NewShardedEngine); the query and update API is
+// identical, and sharded answers are exactly the single-engine answers.
 type Engine struct {
 	ds *Dataset
-	e  *engine.Engine
+	e  backend
+}
+
+// backend is the serving contract shared by the single-partition engine and
+// the cross-shard merge engine.
+type backend interface {
+	Do(ctx context.Context, req engine.Request) (*engine.Result, error)
+	DoBatch(ctx context.Context, reqs []engine.Request) ([]*engine.Result, []error)
+	Insert(rec []float64) (int, error)
+	Delete(id int) error
+	ApplyBatch(ops []engine.UpdateOp) (*engine.UpdateResult, error)
+	Stats() engine.Stats
+	MaxK() int
+	Shards() int
 }
 
 // UpdateKind discriminates UpdateOp.
@@ -126,9 +144,11 @@ type EngineStats struct {
 	Demotions       uint64
 	ShadowEvictions uint64
 	Rebuilds        uint64
-	// MaxK and Workers echo the effective configuration.
+	// MaxK and Workers echo the effective configuration. Shards is the
+	// number of horizontal partitions behind the engine (1 for NewEngine).
 	MaxK    int
 	Workers int
+	Shards  int
 }
 
 // NewEngine builds a serving engine over the dataset.
@@ -153,8 +173,50 @@ func (ds *Dataset) NewEngine(cfg EngineConfig) (*Engine, error) {
 	return &Engine{ds: ds, e: e}, nil
 }
 
+// NewShardedEngine builds a serving engine that horizontally partitions the
+// dataset across the given number of shards (round-robin), each maintained
+// by its own child engine, and answers queries exactly by merging: every
+// shard's depth-k candidate superset is collected and the exact refinement
+// runs once over the union. Record ids, query results, and the update API
+// are identical to NewEngine — a record in the global candidate superset is
+// necessarily in its shard's superset, so the merged answers match the
+// single-engine answers exactly. Inserts and deletes route to the owning
+// shard and recompute only that shard's band.
+//
+// cfg.Workers and cfg.CacheEntries configure the merge layer (per-shard
+// result caches are disabled — the merged result is what gets cached);
+// cfg.MaxK and cfg.ShadowDepth configure each shard's maintenance. The
+// dataset must have at least one record per shard.
+func (ds *Dataset) NewShardedEngine(shards int, cfg EngineConfig) (*Engine, error) {
+	entries := cfg.CacheEntries
+	switch {
+	case entries == 0:
+		entries = DefaultEngineCacheEntries
+	case entries < 0:
+		entries = 0
+	}
+	e, err := shard.New(ds.records, shard.Config{
+		Shards: shards,
+		Engine: engine.Config{
+			MaxK:         cfg.MaxK,
+			ShadowDepth:  cfg.ShadowDepth,
+			CacheEntries: entries,
+			Workers:      cfg.Workers,
+			QueryTimeout: cfg.QueryTimeout,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ds: ds, e: e}, nil
+}
+
 // MaxK returns the largest top-k depth the engine serves.
 func (e *Engine) MaxK() int { return e.e.MaxK() }
+
+// Shards returns the number of horizontal partitions behind the engine
+// (1 for engines built with NewEngine).
+func (e *Engine) Shards() int { return e.e.Shards() }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EngineStats {
@@ -183,6 +245,7 @@ func (e *Engine) Stats() EngineStats {
 		Rebuilds:        st.Rebuilds,
 		MaxK:            st.MaxK,
 		Workers:         st.Workers,
+		Shards:          e.e.Shards(),
 	}
 }
 

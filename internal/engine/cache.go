@@ -18,6 +18,14 @@ import (
 // bits are used exactly, so any numeric perturbation of the region is a miss
 // (never a false hit).
 func fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
+	return Fingerprint(v, k, r, opts)
+}
+
+// Fingerprint is the canonical cache key shared by every serving layer:
+// sibling packages that cache engine Results (the cross-shard merge layer)
+// use it so one key format — and one canonicalization — covers the whole
+// serving stack.
+func Fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 	hs := r.Halfspaces()
 	rows := make([][]byte, 0, len(hs))
 	for _, h := range hs {
@@ -164,3 +172,51 @@ func (c *lru) evictKeys(keys []string) int {
 }
 
 func (c *lru) len() int { return c.ll.Len() }
+
+// CacheEntry is one resident result-cache row as seen by an invalidation
+// scan: the key to evict by plus the query shape to probe with.
+type CacheEntry struct {
+	Key    string
+	Region *geom.Region
+	K      int
+}
+
+// ResultCache is the engine's LRU result cache exported for sibling serving
+// layers (the cross-shard merge engine) that cache Results under the same
+// Fingerprint keys and run the same probe-then-evict invalidation protocol.
+// It is not safe for concurrent use; callers serialize access under their own
+// mutex, exactly as Engine does with its internal instance.
+type ResultCache struct {
+	l *lru
+}
+
+// NewResultCache builds a cache bounded to capacity entries (capacity ≥ 1).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{l: newLRU(capacity)}
+}
+
+// Get returns the cached result for the key, refreshing its recency.
+func (c *ResultCache) Get(key string) (*Result, bool) { return c.l.get(key) }
+
+// Add inserts (or refreshes) an entry, reporting whether an older entry was
+// evicted to make room.
+func (c *ResultCache) Add(key string, region *geom.Region, k int, res *Result) bool {
+	return c.l.add(key, region, k, res)
+}
+
+// Snapshot lists the resident entries for an invalidation scan.
+func (c *ResultCache) Snapshot() []CacheEntry {
+	views := c.l.snapshot()
+	out := make([]CacheEntry, len(views))
+	for i, v := range views {
+		out[i] = CacheEntry{Key: v.key, Region: v.region, K: v.k}
+	}
+	return out
+}
+
+// EvictKeys removes the listed entries (if still resident), returning the
+// number actually evicted.
+func (c *ResultCache) EvictKeys(keys []string) int { return c.l.evictKeys(keys) }
+
+// Len is the current cache population.
+func (c *ResultCache) Len() int { return c.l.len() }

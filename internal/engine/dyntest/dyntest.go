@@ -1,17 +1,22 @@
-// Package dyntest is the differential test harness for the dynamic engine:
-// it drives randomized insert/delete/query interleavings through an
-// incrementally maintained engine.Engine and checks every query answer
-// against a freshly built static engine over the same logical dataset (and,
-// for UTK2, against the brute-force top-k oracle probed at each cell's
-// interior point).
+// Package dyntest is the differential test harness for the dynamic serving
+// engines: it drives randomized insert/delete/query interleavings — single
+// ops and multi-op atomic batches — through an incrementally maintained
+// backend (a single engine.Engine, or a shard.Engine merging S partitions)
+// and checks every query answer against a freshly built static single
+// engine over the same logical dataset (and, for UTK2, against the
+// brute-force top-k oracle probed at each cell's interior point).
 //
 // A wrong dynamic superset silently corrupts every downstream UTK1/UTK2
 // answer — the filter is an exactness precondition, not an optimization — so
 // this cross-check, not unit assertions on the skyband itself, is the
-// primary correctness argument for the update path.
+// primary correctness argument for the update path. For sharded backends the
+// same comparison is simultaneously the exactness proof of the cross-shard
+// merge: sharded ≡ single-engine ≡ rebuilt-static, id for id and cell for
+// cell.
 package dyntest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -22,7 +27,18 @@ import (
 	"repro/internal/geom"
 	"repro/internal/oracle"
 	"repro/internal/rtree"
+	"repro/internal/shard"
 )
+
+// Backend is the serving surface the harness drives; *engine.Engine and
+// *shard.Engine both satisfy it.
+type Backend interface {
+	Do(ctx context.Context, req engine.Request) (*engine.Result, error)
+	Insert(rec []float64) (int, error)
+	Delete(id int) error
+	ApplyBatch(ops []engine.UpdateOp) (*engine.UpdateResult, error)
+	Stats() engine.Stats
+}
 
 // Config describes one randomized interleaving scenario. All randomness
 // derives from Seed, so a failing scenario replays exactly from the
@@ -40,6 +56,14 @@ type Config struct {
 	ShadowDepth int
 	// Ops is the number of interleaved events (updates and queries).
 	Ops int
+	// Shards, when above 1, routes the scenario through a shard.Engine with
+	// that many partitions instead of a single engine.Engine; every answer
+	// must still match the rebuilt static single engine exactly.
+	Shards int
+	// Batch, when true, mixes multi-op atomic ApplyBatch events (2–5 random
+	// inserts/deletes per batch, including delete-what-this-batch-inserted)
+	// into the interleaving.
+	Batch bool
 }
 
 // Run executes the scenario, failing t on the first divergence.
@@ -48,17 +72,39 @@ func Run(t *testing.T, cfg Config) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	kinds := []dataset.Kind{dataset.IND, dataset.COR, dataset.ANTI}
 	recs := dataset.Synthetic(kinds[rng.Intn(len(kinds))], cfg.N, cfg.Dim, cfg.Seed)
-	tree, err := rtree.BulkLoad(recs, rtree.DefaultFanout)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dyn, err := engine.New(tree, recs, engine.Config{
-		MaxK:         cfg.MaxK,
-		ShadowDepth:  cfg.ShadowDepth,
-		CacheEntries: 8, // small, so entries are both hit and invalidated
-	})
-	if err != nil {
-		t.Fatal(err)
+
+	// Both backends assign sequential ids from N upward, so the harness can
+	// predict in-batch insert ids (needed to build delete-what-this-batch-
+	// inserted batches) and cross-check every assignment.
+	var dyn Backend
+	var sharded *shard.Engine
+	if cfg.Shards > 1 {
+		se, err := shard.New(recs, shard.Config{
+			Shards: cfg.Shards,
+			Engine: engine.Config{
+				MaxK:         cfg.MaxK,
+				ShadowDepth:  cfg.ShadowDepth,
+				CacheEntries: 8, // small, so entries are both hit and invalidated
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, dyn = se, se
+	} else {
+		tree, err := rtree.BulkLoad(recs, rtree.DefaultFanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := engine.New(tree, recs, engine.Config{
+			MaxK:         cfg.MaxK,
+			ShadowDepth:  cfg.ShadowDepth,
+			CacheEntries: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn = single
 	}
 
 	mirror := map[int][]float64{}
@@ -67,6 +113,7 @@ func Run(t *testing.T, cfg Config) {
 		mirror[id] = rec
 		liveIDs = append(liveIDs, id)
 	}
+	nextID := cfg.N
 
 	// Queries draw from a small per-trial pool of (region, k) combinations
 	// rather than fresh random regions: repeats across updates are what
@@ -83,6 +130,9 @@ func Run(t *testing.T, cfg Config) {
 		case rng.Float64() < 0.45 && len(mirror) > 0:
 			queries++
 			h.query(t, rng, dyn, mirror, cfg, op, pool[rng.Intn(len(pool))])
+		case cfg.Batch && rng.Intn(4) == 0 && len(liveIDs) > cfg.MaxK+1:
+			updates++
+			liveIDs, nextID = h.applyRandomBatch(t, rng, dyn, mirror, liveIDs, nextID, cfg, op)
 		case rng.Intn(2) == 0 || len(mirror) <= cfg.MaxK+1:
 			updates++
 			rec := h.randomRecord(rng, cfg.Dim, mirror, liveIDs)
@@ -90,6 +140,10 @@ func Run(t *testing.T, cfg Config) {
 			if err != nil {
 				t.Fatalf("op %d: insert: %v", op, err)
 			}
+			if id != nextID {
+				t.Fatalf("op %d: insert assigned id %d, want %d", op, id, nextID)
+			}
+			nextID++
 			mirror[id] = append([]float64(nil), rec...)
 			liveIDs = append(liveIDs, id)
 		default:
@@ -118,7 +172,7 @@ func Run(t *testing.T, cfg Config) {
 		if t.Failed() {
 			return
 		}
-		h.checkSuperset(t, dyn, mirror, cfg, op)
+		h.checkSuperset(t, dyn, sharded, mirror, cfg, op)
 		if t.Failed() {
 			return
 		}
@@ -136,6 +190,88 @@ func Run(t *testing.T, cfg Config) {
 	}
 }
 
+// applyRandomBatch builds a 2–5 op atomic batch — random inserts, deletes of
+// live records, and occasionally a delete of an id the same batch inserts —
+// applies it, and folds the outcome into the mirror. Returns the updated
+// live-id slice and next expected id.
+func (harness) applyRandomBatch(t *testing.T, rng *rand.Rand, dyn Backend, mirror map[int][]float64, liveIDs []int, nextID int, cfg Config, op int) ([]int, int) {
+	t.Helper()
+	n := 2 + rng.Intn(4)
+	ops := make([]engine.UpdateOp, 0, n)
+	predicted := nextID
+	var batchInserted []int
+	chosen := map[int]bool{} // ids already deleted by this batch
+	for j := 0; j < n; j++ {
+		roll := rng.Intn(4)
+		switch {
+		case roll == 0 && len(batchInserted) > 0:
+			// Delete an id this very batch inserted (transient record).
+			id := batchInserted[rng.Intn(len(batchInserted))]
+			if chosen[id] {
+				continue
+			}
+			chosen[id] = true
+			ops = append(ops, engine.UpdateOp{Kind: engine.UpdateDelete, ID: id})
+		case roll <= 1 && len(liveIDs) > 0:
+			// Delete a live record, biased toward the band like single
+			// deletes are.
+			pick := rng.Intn(len(liveIDs))
+			for c := 0; c < 3 && rng.Intn(3) > 0; c++ {
+				cand := rng.Intn(len(liveIDs))
+				if sum(mirror[liveIDs[cand]]) > sum(mirror[liveIDs[pick]]) {
+					pick = cand
+				}
+			}
+			id := liveIDs[pick]
+			if chosen[id] {
+				continue
+			}
+			chosen[id] = true
+			ops = append(ops, engine.UpdateOp{Kind: engine.UpdateDelete, ID: id})
+		default:
+			rec := h.randomRecord(rng, cfg.Dim, mirror, liveIDs)
+			ops = append(ops, engine.UpdateOp{Kind: engine.UpdateInsert, Record: append([]float64(nil), rec...)})
+			batchInserted = append(batchInserted, predicted)
+			predicted++
+		}
+	}
+	if len(ops) == 0 {
+		return liveIDs, nextID
+	}
+	res, err := dyn.ApplyBatch(ops)
+	if err != nil {
+		t.Fatalf("op %d: batch (%d ops): %v", op, len(ops), err)
+	}
+	expect := nextID
+	for i, o := range ops {
+		id := res.IDs[i]
+		if o.Kind == engine.UpdateInsert {
+			if id != expect {
+				t.Fatalf("op %d: batch insert %d assigned id %d, want %d", op, i, id, expect)
+			}
+			expect++
+			mirror[id] = append([]float64(nil), o.Record...)
+			liveIDs = append(liveIDs, id)
+		} else {
+			if id != o.ID {
+				t.Fatalf("op %d: batch delete %d echoed id %d, want %d", op, i, id, o.ID)
+			}
+			delete(mirror, id)
+			for p, lid := range liveIDs {
+				if lid == id {
+					liveIDs[p] = liveIDs[len(liveIDs)-1]
+					liveIDs = liveIDs[:len(liveIDs)-1]
+					break
+				}
+			}
+		}
+	}
+	if res.Live != len(mirror) {
+		t.Fatalf("op %d: batch reported live %d, mirror has %d", op, res.Live, len(mirror))
+	}
+	return liveIDs, expect
+}
+
 // h namespaces the harness helpers (free functions would collide with test
 // files of importing packages).
 var h harness
@@ -150,31 +286,75 @@ func sum(rec []float64) float64 {
 	return s
 }
 
-// checkSuperset compares the engine's maintained superset size against the
+// checkSuperset compares the maintained superset size against the
 // brute-force MaxK-skyband of the mirror. Divergences here are caught long
 // before a query happens to route through the damaged depth, which keeps the
 // harness sensitive to maintenance bugs whose query-visible window is
 // narrow (e.g. a missed shadow promotion only perturbs depth-MaxK queries).
-func (harness) checkSuperset(t *testing.T, dyn *engine.Engine, mirror map[int][]float64, cfg Config, op int) {
+// For sharded backends the brute force runs per shard — each partition's
+// band is the MaxK-skyband of the records routed to it — pinning both the
+// routing tables and every child engine's maintenance.
+func (harness) checkSuperset(t *testing.T, dyn Backend, sharded *shard.Engine, mirror map[int][]float64, cfg Config, op int) {
 	t.Helper()
+	if sharded == nil {
+		want := bruteSkybandSize(mirror, nil, cfg.MaxK)
+		if got := dyn.Stats().SupersetSize; got != want {
+			t.Errorf("op %d: maintained superset size %d != brute-force MaxK-skyband %d", op, got, want)
+		}
+		return
+	}
+	groups := make([]map[int]bool, sharded.Shards())
+	for i := range groups {
+		groups[i] = map[int]bool{}
+	}
+	for id := range mirror {
+		sh, ok := sharded.Owner(id)
+		if !ok {
+			t.Errorf("op %d: live id %d has no owning shard", op, id)
+			return
+		}
+		groups[sh][id] = true
+	}
+	total := 0
+	perShard := sharded.ShardStats()
+	for sh, group := range groups {
+		want := bruteSkybandSize(mirror, group, cfg.MaxK)
+		total += want
+		if got := perShard[sh].SupersetSize; got != want {
+			t.Errorf("op %d: shard %d superset size %d != brute-force MaxK-skyband %d of its partition", op, sh, got, want)
+			return
+		}
+	}
+	if got := dyn.Stats().SupersetSize; got != total {
+		t.Errorf("op %d: aggregated superset size %d != sum of per-shard skybands %d", op, got, total)
+	}
+}
+
+// bruteSkybandSize counts mirror records dominated by fewer than k others,
+// restricted to the given id set (nil means all of the mirror).
+func bruteSkybandSize(mirror map[int][]float64, within map[int]bool, k int) int {
 	want := 0
 	for id, rec := range mirror {
+		if within != nil && !within[id] {
+			continue
+		}
 		cnt := 0
 		for other, orec := range mirror {
+			if within != nil && !within[other] {
+				continue
+			}
 			if other != id && geom.Dominates(orec, rec) {
 				cnt++
-				if cnt >= cfg.MaxK {
+				if cnt >= k {
 					break
 				}
 			}
 		}
-		if cnt < cfg.MaxK {
+		if cnt < k {
 			want++
 		}
 	}
-	if got := dyn.Stats().SupersetSize; got != want {
-		t.Errorf("op %d: maintained superset size %d != brute-force MaxK-skyband %d", op, got, want)
-	}
+	return want
 }
 
 // randomRecord draws an insert: uniform, near-top (stressing the band and
@@ -239,10 +419,12 @@ func (harness) randomQueryCase(t *testing.T, rng *rand.Rand, cfg Config) queryCa
 	return queryCase{region: h.randomRegion(t, rng, cfg.Dim), k: k}
 }
 
-// query runs one UTK query through the dynamic engine and through a freshly
-// built static engine over the identical logical dataset, failing on any
-// divergence.
-func (harness) query(t *testing.T, rng *rand.Rand, dyn *engine.Engine, mirror map[int][]float64, cfg Config, op int, qc queryCase) {
+// query runs one UTK query through the dynamic backend and through a freshly
+// built static single engine over the identical logical dataset, failing on
+// any divergence. For sharded backends this asserts the full federation
+// claim: merged per-shard candidates refined once ≡ one engine over the
+// union of the partitions.
+func (harness) query(t *testing.T, rng *rand.Rand, dyn Backend, mirror map[int][]float64, cfg Config, op int, qc queryCase) {
 	t.Helper()
 	r, k := qc.region, qc.k
 	variant := engine.Variant(rng.Intn(2))

@@ -1,0 +1,89 @@
+package dyntest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialShardedVsSingle is the cross-shard federation proof:
+// randomized workloads routed through a shard.Engine with S=1..4 partitions,
+// every answer compared against a single engine rebuilt from scratch over the
+// same logical dataset — UTK1 id sets, UTK2 cell multisets, and a
+// brute-force oracle probe at every cell interior — with single-op updates
+// and multi-op atomic batches interleaved throughout. Every scenario's
+// parameters (including its seed) are in the subtest name, so a failure
+// replays with -run.
+func TestDifferentialShardedVsSingle(t *testing.T) {
+	trials, ops := 12, 26
+	if testing.Short() {
+		trials, ops = 5, 14
+	}
+	rng := rand.New(rand.NewSource(4201))
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{
+			Seed:   rng.Int63n(1 << 30),
+			Dim:    2 + rng.Intn(4),
+			N:      50 + rng.Intn(451),
+			MaxK:   4 + rng.Intn(5),
+			Ops:    ops,
+			Shards: 1 + trial%4, // S cycles 1..4; S=1 pins the degenerate merge
+			Batch:  true,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.ShadowDepth = 1 + rng.Intn(3) // shallow shadows exercise per-shard rebuilds
+		}
+		name := fmt.Sprintf("seed%d_d%d_n%d_maxk%d_shadow%d_s%d", cfg.Seed, cfg.Dim, cfg.N, cfg.MaxK, cfg.ShadowDepth, cfg.Shards)
+		t.Run(name, func(t *testing.T) { Run(t, cfg) })
+	}
+}
+
+// TestDifferentialShardedDeleteHeavy skews sharded interleavings toward
+// deletions of band members with a tiny shadow depth, so per-shard shadow
+// promotion, recompute fallbacks, and cross-shard cache invalidation all
+// fire under the differential comparison.
+func TestDifferentialShardedDeleteHeavy(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{
+			Seed:        11000 + int64(trial),
+			Dim:         2 + trial%3,
+			N:           120,
+			MaxK:        5,
+			ShadowDepth: 1,
+			Ops:         24,
+			Shards:      2 + trial%3,
+			Batch:       true,
+		}
+		name := fmt.Sprintf("seed%d_d%d_s%d", cfg.Seed, cfg.Dim, cfg.Shards)
+		t.Run(name, func(t *testing.T) { Run(t, cfg) })
+	}
+}
+
+// TestDifferentialSingleWithBatches keeps the original single-engine
+// backend but mixes multi-op atomic batches into the interleaving,
+// covering the engine's batch-aware shared-snapshot invalidation (including
+// delete-what-this-batch-inserted transients) under the same differential
+// comparison.
+func TestDifferentialSingleWithBatches(t *testing.T) {
+	trials, ops := 8, 26
+	if testing.Short() {
+		trials, ops = 3, 14
+	}
+	rng := rand.New(rand.NewSource(5303))
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{
+			Seed:  rng.Int63n(1 << 30),
+			Dim:   2 + rng.Intn(4),
+			N:     50 + rng.Intn(451),
+			MaxK:  4 + rng.Intn(5),
+			Ops:   ops,
+			Batch: true,
+		}
+		name := fmt.Sprintf("seed%d_d%d_n%d_maxk%d", cfg.Seed, cfg.Dim, cfg.N, cfg.MaxK)
+		t.Run(name, func(t *testing.T) { Run(t, cfg) })
+	}
+}

@@ -329,8 +329,58 @@ func (e *Engine) SupersetSize() int { return len(e.idx.Load().super.ids) }
 // MaxK returns the largest supported top-k depth.
 func (e *Engine) MaxK() int { return e.cfg.MaxK }
 
+// Dim returns the data dimensionality.
+func (e *Engine) Dim() int { return e.dim }
+
 // Epoch returns the current index version.
 func (e *Engine) Epoch() uint64 { return e.idx.Load().epoch }
+
+// Shards reports the number of data partitions behind this engine — always 1;
+// the method exists so the single-partition engine and the cross-shard merge
+// engine satisfy one serving interface.
+func (e *Engine) Shards() int { return 1 }
+
+// Candidates returns the engine's candidate list for depth k as parallel
+// id/record slices, plus the epoch it belongs to. The slices are shared with
+// the engine's immutable index snapshot and must not be mutated. This is the
+// superset-provider hook of the cross-shard merge layer: the union of
+// per-shard candidate lists at depth k contains every record of the global
+// k-skyband (a record dominated by fewer than k others globally is dominated
+// by fewer than k within its shard), so it is a valid — and exact — input to
+// the region-aware filter and refinement.
+func (e *Engine) Candidates(k int) (ids []int, recs [][]float64, epoch uint64, err error) {
+	if k <= 0 {
+		return nil, nil, 0, core.ErrBadK
+	}
+	if k > e.cfg.MaxK {
+		return nil, nil, 0, ErrKTooLarge
+	}
+	ix := e.idx.Load()
+	sub := ix.subFor(k, e.cfg.MaxK)
+	return sub.ids, sub.recs, ix.epoch, nil
+}
+
+// NextID returns the id the next inserted record will be assigned. It is a
+// planning hook for layers that route updates across engines and must know
+// assigned ids before applying a batch; with updates otherwise serialized by
+// the caller, ids are assigned sequentially from this value.
+func (e *Engine) NextID() int {
+	e.updMu.Lock()
+	defer e.updMu.Unlock()
+	return e.dyn.NextID()
+}
+
+// Record returns a copy of the live record with the given id, or false if the
+// id is not live.
+func (e *Engine) Record(id int) ([]float64, bool) {
+	e.updMu.Lock()
+	defer e.updMu.Unlock()
+	rec := e.dyn.Record(id)
+	if rec == nil {
+		return nil, false
+	}
+	return append([]float64(nil), rec...), true
+}
 
 // UpdateResult reports the outcome of one ApplyBatch: the per-op ids and
 // the engine state as published by this batch (not a later concurrent one).
@@ -363,22 +413,44 @@ func (e *Engine) Delete(id int) error {
 }
 
 // affectsTest is the deferred precise-invalidation probe for one update that
-// touched the band: the updated record plus the band state right after the
-// op was applied. A cached (region, k) entry is unaffected iff at least k
-// band members r-dominate the record throughout the region — then the record
-// belongs to no top-k set anywhere in the region, so neither its arrival nor
-// its departure can change the entry.
+// touched the band. All of a batch's probes share one post-batch band
+// snapshot; the soundness argument is per-batch rather than per-op. A cached
+// (region, k) entry survives the batch iff the pre- and post-batch answers
+// coincide, for which it suffices that
+//
+//   - every net-inserted record appears in no top-k set anywhere in the
+//     region under the post-batch dataset, and
+//   - every net-deleted record appeared in no top-k set anywhere in the
+//     region under the pre-batch dataset
+//
+// (records both inserted and deleted within the batch exist in neither state
+// and are skipped entirely). The probe certifies exactly those facts: at
+// least k counted band members r-dominating the record throughout the region
+// pin it below every top-k. For an insert the counted members are the final
+// band minus the record itself — all live post-batch. For a delete they are
+// the final band minus every record the batch inserted — all live pre-batch
+// (a record live at both batch boundaries is live throughout; ids are never
+// reused). Updates that need no probe are proven irrelevant by band depth:
+// an insert ending outside the final band, or a delete of a record outside
+// the starting band, is classically dominated by at least MaxK records in
+// the relevant state, so it belongs to no top-k set at any depth the engine
+// serves.
 type affectsTest struct {
-	rec     []float64
-	exclude int // band id to skip (the inserted record itself), or -1
-	recs    [][]float64
-	ids     []int
+	rec        []float64
+	exclude    int          // band id to skip (the inserted record itself), or -1
+	excludeSet map[int]bool // batch-inserted ids to skip (delete probes), or nil
+	recs       [][]float64
+	ids        []int
 }
 
 func (a *affectsTest) affects(r *geom.Region, k int) bool {
 	cnt := 0
 	for i, m := range a.recs {
-		if a.ids[i] != a.exclude && skyband.RDominates(m, a.rec, r) {
+		id := a.ids[i]
+		if id == a.exclude || a.excludeSet[id] {
+			continue
+		}
+		if skyband.RDominates(m, a.rec, r) {
 			cnt++
 			if cnt >= k {
 				return false
@@ -431,29 +503,33 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 		deleted[op.ID] = true
 	}
 
-	// snapIDs/snapRecs hold the most recent band snapshot, valid only while
-	// no later op has changed the band again; a still-valid snapshot is
-	// reused for the published index instead of re-sorting the band.
+	// Batch-aware probe state: the whole batch shares one starting-band id
+	// set (to classify deletes) and one final-band snapshot (to probe
+	// against and to publish), instead of re-snapshotting the band per op.
+	// See affectsTest for the soundness argument.
+	var startBand map[int]bool
+	if e.cache != nil && len(deleted) > 0 {
+		ids, _ := e.dyn.Band()
+		startBand = make(map[int]bool, len(ids))
+		for _, id := range ids {
+			startBand[id] = true
+		}
+	}
+
+	type pendingDelete struct {
+		id  int
+		rec []float64
+	}
 	ids := make([]int, len(ops))
-	var tests []affectsTest
-	var snapIDs []int
-	var snapRecs [][]float64
+	var delProbes []pendingDelete
+	batchInserted := map[int]bool{}
 	bandChanged := false
 	for i, op := range ops {
 		if op.Kind == UpdateInsert {
 			id, eff := e.dyn.Insert(op.Record)
 			ids[i] = id
-			if eff.BandChanged {
-				bandChanged = true
-				snapIDs, snapRecs = nil, nil
-			}
-			if eff.InBand && e.cache != nil {
-				// The newcomer reaches depth < MaxK somewhere; cached regions
-				// it cannot reach at their own depth still survive the probe.
-				// (Probe state is skipped entirely on cache-less engines.)
-				snapIDs, snapRecs = e.dyn.Band()
-				tests = append(tests, affectsTest{rec: e.dyn.Record(id), exclude: id, recs: snapRecs, ids: snapIDs})
-			}
+			batchInserted[id] = true
+			bandChanged = bandChanged || eff.BandChanged
 		} else {
 			rec, eff, ok := e.dyn.Delete(op.ID)
 			if !ok {
@@ -461,21 +537,41 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 				return nil, ErrUnknownRecord
 			}
 			ids[i] = op.ID
-			if eff.BandChanged {
-				bandChanged = true
-				snapIDs, snapRecs = nil, nil
-			}
-			if eff.InBand && e.cache != nil {
-				// Post-delete band: the departed record's r-dominators are
-				// all still members (deleting a record never removes its
-				// dominators), so the probe stays exact.
-				snapIDs, snapRecs = e.dyn.Band()
-				tests = append(tests, affectsTest{rec: rec, exclude: -1, recs: snapRecs, ids: snapIDs})
+			bandChanged = bandChanged || eff.BandChanged
+			if e.cache != nil && startBand[op.ID] && !batchInserted[op.ID] {
+				// Deletes of starting-band records that the batch itself did
+				// not insert are the only deletes that can change a cached
+				// answer; the probe runs against the final band below.
+				delProbes = append(delProbes, pendingDelete{id: op.ID, rec: rec})
 			}
 		}
 	}
 
 	dynStats := e.dyn.Stats()
+
+	// One final-band snapshot serves every probe and the published index.
+	var snapIDs []int
+	var snapRecs [][]float64
+	var tests []affectsTest
+	if bandChanged || (e.cache != nil && (len(delProbes) > 0 || len(batchInserted) > 0)) {
+		snapIDs, snapRecs = e.dyn.Band()
+	}
+	if e.cache != nil {
+		// Net inserts that made the final band: probe excluding the record
+		// itself (other batch inserts are live post-batch and may count).
+		if len(batchInserted) > 0 {
+			for i, id := range snapIDs {
+				if batchInserted[id] && !deleted[id] {
+					tests = append(tests, affectsTest{rec: snapRecs[i], exclude: id, recs: snapRecs, ids: snapIDs})
+				}
+			}
+		}
+		// Net deletes from the starting band: probe excluding every
+		// batch-inserted id (those were not live pre-batch).
+		for _, p := range delProbes {
+			tests = append(tests, affectsTest{rec: p.rec, exclude: -1, excludeSet: batchInserted, recs: snapRecs, ids: snapIDs})
+		}
+	}
 
 	// Probe-and-publish. The r-dominance probes (cache entries × updates ×
 	// band) run outside e.mu so concurrent queries — cache hits especially —
@@ -509,13 +605,9 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 	}
 	// The band sort+copy of the new snapshot also stays off e.mu: updMu
 	// keeps dyn and the epoch stable, so only the pointer swap needs the
-	// lock. When the last probe snapshot still reflects the final band —
-	// the whole single-op Insert/Delete path — it is reused as-is.
+	// lock. The probes' final-band snapshot doubles as the published index.
 	var fresh *index
 	if bandChanged {
-		if snapIDs == nil {
-			snapIDs, snapRecs = e.dyn.Band()
-		}
 		fresh = bandIndex(e.idx.Load().epoch+1, snapIDs, snapRecs)
 	}
 	e.mu.Lock()

@@ -1,0 +1,249 @@
+// Package registry manages named serving engines, turning the single-dataset
+// serving stack into a multi-tenant one: each named dataset owns its engine
+// (single-partition or sharded), updates route to the owning engine, and
+// stats aggregate across the fleet. The registry is the front tier the HTTP
+// server mounts dataset path segments on.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	utk "repro"
+)
+
+// Errors returned by registry operations.
+var (
+	// ErrUnknownDataset reports a name with no registered engine.
+	ErrUnknownDataset = errors.New("registry: unknown dataset")
+	// ErrExists reports a Create for a name already registered.
+	ErrExists = errors.New("registry: dataset already exists")
+	// ErrBadName reports an unusable dataset name.
+	ErrBadName = errors.New("registry: bad dataset name")
+)
+
+// Options configures the engine built for one dataset.
+type Options struct {
+	// Shards above 1 builds a sharded engine with that many horizontal
+	// partitions; 0 or 1 builds a single-partition engine.
+	Shards int
+	// MaxK is the largest top-k depth served (required, positive).
+	MaxK int
+	// ShadowDepth, CacheEntries, Workers, and QueryTimeout forward to
+	// utk.EngineConfig with its defaults.
+	ShadowDepth  int
+	CacheEntries int
+	Workers      int
+	QueryTimeout time.Duration
+}
+
+// Entry is one registered dataset: the immutable source Dataset, the serving
+// engine over it, and the options it was built with.
+type Entry struct {
+	Name    string
+	Dataset *utk.Dataset
+	Engine  *utk.Engine
+	Opts    Options
+}
+
+// Registry is a concurrent map of named serving engines. The zero value is
+// not usable; construct with New.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// ValidateName reports whether a dataset name is usable: non-empty, at most
+// 128 bytes, and built from letters, digits, '.', '_', and '-' only (names
+// appear as URL path segments).
+func ValidateName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("%w: must be 1-128 characters", ErrBadName)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return fmt.Errorf("%w: %q contains %q (allowed: letters, digits, '.', '_', '-')", ErrBadName, name, c)
+		}
+	}
+	return nil
+}
+
+// Create indexes the records, builds the engine described by opts, and
+// registers it under the name. The name must be free.
+func (r *Registry) Create(name string, records [][]float64, opts Options) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	// The expensive build runs outside the lock; only the final claim is
+	// serialized (losing a create race returns ErrExists, like a file
+	// system's O_EXCL).
+	r.mu.RLock()
+	_, taken := r.entries[name]
+	r.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	ds, err := utk.NewDataset(records)
+	if err != nil {
+		return nil, err
+	}
+	cfg := utk.EngineConfig{
+		MaxK:         opts.MaxK,
+		ShadowDepth:  opts.ShadowDepth,
+		CacheEntries: opts.CacheEntries,
+		Workers:      opts.Workers,
+		QueryTimeout: opts.QueryTimeout,
+	}
+	var eng *utk.Engine
+	if opts.Shards > 1 {
+		eng, err = ds.NewShardedEngine(opts.Shards, cfg)
+	} else {
+		eng, err = ds.NewEngine(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ent := &Entry{Name: name, Dataset: ds, Engine: eng, Opts: opts}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.entries[name]; taken {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	r.entries[name] = ent
+	return ent, nil
+}
+
+// Get returns the entry registered under the name.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ent, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	return ent, nil
+}
+
+// Drop unregisters the named engine. In-flight queries against it complete;
+// the engine is garbage once they do.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// Names lists the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Sole returns the single registered entry when exactly one dataset exists —
+// the resolution rule behind dataset-less legacy request paths.
+func (r *Registry) Sole() (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.entries) != 1 {
+		return nil, fmt.Errorf("%w: %d datasets registered, name one explicitly", ErrUnknownDataset, len(r.entries))
+	}
+	for _, ent := range r.entries {
+		return ent, nil
+	}
+	panic("unreachable")
+}
+
+// Update routes a batch of updates to the named dataset's engine.
+func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, error) {
+	ent, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return ent.Engine.ApplyBatch(ops)
+}
+
+// AggregateStats sums serving counters across every registered engine.
+type AggregateStats struct {
+	// Datasets is the number of registered engines; Shards sums their
+	// partition counts.
+	Datasets int
+	Shards   int
+	// Queries, Hits, Misses, Shared, Evictions, Invalidations, and Rejected
+	// sum the per-engine serving counters; InFlight and CacheEntries sum
+	// instantaneous state; Live, Inserts, Deletes, and UpdateBatches sum the
+	// data-plane counters.
+	Queries       uint64
+	Hits          uint64
+	Misses        uint64
+	Shared        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Rejected      uint64
+	InFlight      int
+	CacheEntries  int
+	Live          int
+	Inserts       uint64
+	Deletes       uint64
+	UpdateBatches uint64
+	// PerDataset holds each engine's own snapshot, keyed by name.
+	PerDataset map[string]utk.EngineStats
+}
+
+// Stats snapshots every engine and aggregates the fleet view.
+func (r *Registry) Stats() AggregateStats {
+	r.mu.RLock()
+	ents := make([]*Entry, 0, len(r.entries))
+	for _, ent := range r.entries {
+		ents = append(ents, ent)
+	}
+	r.mu.RUnlock()
+
+	agg := AggregateStats{PerDataset: make(map[string]utk.EngineStats, len(ents))}
+	for _, ent := range ents {
+		st := ent.Engine.Stats()
+		agg.Datasets++
+		agg.Shards += st.Shards
+		agg.Queries += st.Queries
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Shared += st.Shared
+		agg.Evictions += st.Evictions
+		agg.Invalidations += st.Invalidations
+		agg.Rejected += st.Rejected
+		agg.InFlight += st.InFlight
+		agg.CacheEntries += st.CacheEntries
+		agg.Live += st.Live
+		agg.Inserts += st.Inserts
+		agg.Deletes += st.Deletes
+		agg.UpdateBatches += st.UpdateBatches
+		agg.PerDataset[ent.Name] = st
+	}
+	return agg
+}

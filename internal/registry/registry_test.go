@@ -1,0 +1,192 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	utk "repro"
+	"repro/internal/dataset"
+)
+
+func region(t *testing.T, d int) *utk.Region {
+	t.Helper()
+	rd := d - 1
+	lo := make([]float64, rd)
+	hi := make([]float64, rd)
+	for j := range lo {
+		lo[j] = 0.2 / float64(rd)
+		hi[j] = lo[j] + 0.05
+	}
+	r, err := utk.NewBoxRegion(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	reg := New()
+	recs := dataset.Synthetic(dataset.IND, 100, 3, 1)
+
+	ent, err := reg.Create("hotels", recs, Options{MaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent.Engine.Shards() != 1 {
+		t.Fatalf("default engine shards = %d, want 1", ent.Engine.Shards())
+	}
+	if _, err := reg.Create("hotels", recs, Options{MaxK: 5}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	sharded, err := reg.Create("hotels-sharded", recs, Options{MaxK: 5, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Engine.Shards() != 3 {
+		t.Fatalf("sharded engine shards = %d, want 3", sharded.Engine.Shards())
+	}
+
+	if got := reg.Names(); fmt.Sprint(got) != "[hotels hotels-sharded]" {
+		t.Fatalf("names = %v", got)
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("get unknown: %v", err)
+	}
+	if _, err := reg.Sole(); err == nil {
+		t.Fatal("Sole succeeded with two datasets")
+	}
+	if err := reg.Drop("hotels-sharded"); err != nil {
+		t.Fatal(err)
+	}
+	if sole, err := reg.Sole(); err != nil || sole.Name != "hotels" {
+		t.Fatalf("Sole after drop: %v, %v", sole, err)
+	}
+	if err := reg.Drop("hotels-sharded"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestBadNames(t *testing.T) {
+	reg := New()
+	recs := dataset.Synthetic(dataset.IND, 10, 2, 1)
+	for _, name := range []string{"", "a/b", "a b", "café", string(make([]byte, 200))} {
+		if _, err := reg.Create(name, recs, Options{MaxK: 2}); !errors.Is(err, ErrBadName) {
+			t.Errorf("name %q accepted: %v", name, err)
+		}
+	}
+	for _, name := range []string{"a", "A-1_b.c", "x0"} {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("name %q rejected: %v", name, err)
+		}
+	}
+}
+
+// TestUpdateRoutingIsolation checks that updates through the registry reach
+// only the named engine: two datasets built from identical records diverge
+// after one receives an insert.
+func TestUpdateRoutingIsolation(t *testing.T) {
+	reg := New()
+	recs := dataset.Synthetic(dataset.COR, 120, 3, 5)
+	if _, err := reg.Create("a", recs, Options{MaxK: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("b", recs, Options{MaxK: 4, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Update("a", []utk.UpdateOp{{Kind: utk.UpdateInsert, Record: []float64{2, 2, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := res.IDs[0]
+	if _, err := reg.Update("nope", nil); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("update unknown: %v", err)
+	}
+
+	q := utk.Query{K: 2, Region: region(t, 3)}
+	entA, _ := reg.Get("a")
+	entB, _ := reg.Get("b")
+	resA, err := entA.Engine.UTK1(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := entB.Engine.UTK1(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := false
+	for _, got := range resA.Records {
+		if got == id {
+			inA = true
+		}
+	}
+	if !inA {
+		t.Fatalf("dominating insert %d missing from dataset a's answer %v", id, resA.Records)
+	}
+	for _, got := range resB.Records {
+		if got == id {
+			t.Fatalf("insert to dataset a leaked into dataset b's answer %v", resB.Records)
+		}
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	reg := New()
+	recs := dataset.Synthetic(dataset.IND, 80, 3, 11)
+	if _, err := reg.Create("a", recs, Options{MaxK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("b", recs, Options{MaxK: 3, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	q := utk.Query{K: 2, Region: region(t, 3)}
+	for _, name := range []string{"a", "a", "b"} {
+		ent, _ := reg.Get(name)
+		if _, err := ent.Engine.UTK1(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := reg.Stats()
+	if agg.Datasets != 2 || agg.Shards != 3 {
+		t.Fatalf("datasets=%d shards=%d, want 2 and 3", agg.Datasets, agg.Shards)
+	}
+	if agg.Queries != 3 {
+		t.Fatalf("aggregate queries = %d, want 3", agg.Queries)
+	}
+	if agg.Live != 160 {
+		t.Fatalf("aggregate live = %d, want 160", agg.Live)
+	}
+	if agg.PerDataset["a"].Queries != 2 || agg.PerDataset["b"].Queries != 1 {
+		t.Fatalf("per-dataset queries: %+v", agg.PerDataset)
+	}
+}
+
+// TestConcurrentCreateDropGet hammers the registry from multiple goroutines;
+// meant for -race.
+func TestConcurrentCreateDropGet(t *testing.T) {
+	reg := New()
+	recs := dataset.Synthetic(dataset.IND, 30, 2, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("ds%d", w%2)
+			for i := 0; i < 20; i++ {
+				if _, err := reg.Create(name, recs, Options{MaxK: 2}); err != nil && !errors.Is(err, ErrExists) {
+					t.Errorf("create: %v", err)
+					return
+				}
+				reg.Get(name)
+				reg.Stats()
+				if err := reg.Drop(name); err != nil && !errors.Is(err, ErrUnknownDataset) {
+					t.Errorf("drop: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,448 @@
+// Package server is utkserve's HTTP layer, extracted from the command so the
+// routing, decoding, and error mapping are testable with httptest. It mounts
+// a registry of named serving engines:
+//
+//	POST   /utk1/{dataset}    UTK1 query        {"k":10,"region":{"lo":[...],"hi":[...]}}
+//	POST   /utk2/{dataset}    UTK2 query        same body; returns the partitioning
+//	POST   /update/{dataset}  atomic batch      {"delete":[3,17],"insert":[[...],...]}
+//	GET    /stats             fleet aggregate + per-dataset engine counters
+//	GET    /stats/{dataset}   one engine's counters
+//	GET    /datasets          registered names with dimensions and options
+//	POST   /datasets/{name}   create: {"records":[[...]]} or {"gen":"IND","n":1000,"d":4,"seed":1},
+//	                          plus {"maxk":10,"shards":4,"shadow":0,"cache":256,"workers":0,"timeout_ms":5000}
+//	DELETE /datasets/{name}   drop
+//
+// The dataset-less legacy paths (POST /utk1, /utk2, /update) keep working
+// while exactly one dataset is registered, so pre-registry clients survive.
+//
+// /update applies deletes before inserts as one atomic batch per dataset:
+// concurrent queries observe either none or all of it (per shard, for
+// sharded engines). A general convex region may replace the box:
+//
+//	{"k": 5, "halfspaces": [{"coef": [1, 1], "offset": 0.3}, ...]}
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	utk "repro"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+)
+
+// Config tunes the HTTP layer.
+type Config struct {
+	// MaxBodyBytes bounds request bodies; 0 selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// AllowCreate enables POST/DELETE /datasets/{name}. Serving deployments
+	// that pre-register their catalogs can keep the admin surface off.
+	AllowCreate bool
+}
+
+// DefaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes is 0:
+// large enough for bulk creates, small enough to shed abuse.
+const DefaultMaxBodyBytes = 64 << 20
+
+// Server routes HTTP requests to registry engines.
+type Server struct {
+	reg *registry.Registry
+	cfg Config
+}
+
+// New builds the HTTP handler over the registry.
+func New(reg *registry.Registry, cfg Config) http.Handler {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{reg: reg, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /utk1", s.handleUTK1)
+	mux.HandleFunc("POST /utk1/{dataset}", s.handleUTK1)
+	mux.HandleFunc("POST /utk2", s.handleUTK2)
+	mux.HandleFunc("POST /utk2/{dataset}", s.handleUTK2)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("POST /update/{dataset}", s.handleUpdate)
+	mux.HandleFunc("GET /stats", s.handleStatsAll)
+	mux.HandleFunc("GET /stats/{dataset}", s.handleStats)
+	mux.HandleFunc("GET /datasets", s.handleList)
+	if cfg.AllowCreate {
+		mux.HandleFunc("POST /datasets/{dataset}", s.handleCreate)
+		mux.HandleFunc("DELETE /datasets/{dataset}", s.handleDrop)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// resolve maps the request's dataset path segment — or its absence, via the
+// single-dataset legacy rule — to a registry entry.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*registry.Entry, bool) {
+	name := r.PathValue("dataset")
+	var ent *registry.Entry
+	var err error
+	if name == "" {
+		ent, err = s.reg.Sole()
+	} else {
+		ent, err = s.reg.Get(name)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return nil, false
+	}
+	return ent, true
+}
+
+// queryRequest is the JSON body of /utk1 and /utk2.
+type queryRequest struct {
+	K      int `json:"k"`
+	Region *struct {
+		Lo []float64 `json:"lo"`
+		Hi []float64 `json:"hi"`
+	} `json:"region"`
+	Halfspaces []struct {
+		Coef   []float64 `json:"coef"`
+		Offset float64   `json:"offset"`
+	} `json:"halfspaces"`
+}
+
+type statsPayload struct {
+	Candidates     int     `json:"candidates"`
+	FilterMillis   float64 `json:"filter_ms"`
+	RefineMillis   float64 `json:"refine_ms"`
+	Partitions     int     `json:"partitions,omitempty"`
+	UniqueTopKSets int     `json:"unique_top_k_sets,omitempty"`
+}
+
+func statsPayloadFrom(st utk.Stats) statsPayload {
+	return statsPayload{
+		Candidates:     st.Candidates,
+		FilterMillis:   float64(st.FilterDuration.Microseconds()) / 1000,
+		RefineMillis:   float64(st.RefineDuration.Microseconds()) / 1000,
+		Partitions:     st.Partitions,
+		UniqueTopKSets: st.UniqueTopKSets,
+	}
+}
+
+func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, ent *registry.Entry) (utk.Query, bool) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return utk.Query{}, false
+	}
+	var region *utk.Region
+	var err error
+	switch {
+	case req.Region != nil:
+		region, err = utk.NewBoxRegion(req.Region.Lo, req.Region.Hi)
+	case len(req.Halfspaces) > 0:
+		hs := make([]utk.Halfspace, len(req.Halfspaces))
+		for i, h := range req.Halfspaces {
+			hs[i] = utk.Halfspace{Coef: h.Coef, Offset: h.Offset}
+		}
+		region, err = utk.NewPolytopeRegion(ent.Dataset.Dim()-1, hs)
+	default:
+		err = fmt.Errorf("provide region {lo, hi} or halfspaces")
+	}
+	if err != nil {
+		http.Error(w, "bad region: "+err.Error(), http.StatusBadRequest)
+		return utk.Query{}, false
+	}
+	return utk.Query{K: req.K, Region: region}, true
+}
+
+func (s *Server) handleUTK1(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	q, ok := s.parseQuery(w, r, ent)
+	if !ok {
+		return
+	}
+	res, err := ent.Engine.UTK1(r.Context(), q)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"dataset":   ent.Name,
+		"records":   res.Records,
+		"cache_hit": res.CacheHit,
+		"stats":     statsPayloadFrom(res.Stats),
+	})
+}
+
+func (s *Server) handleUTK2(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	q, ok := s.parseQuery(w, r, ent)
+	if !ok {
+		return
+	}
+	res, err := ent.Engine.UTK2(r.Context(), q)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	type cellPayload struct {
+		TopK     []int     `json:"top_k"`
+		Interior []float64 `json:"interior"`
+	}
+	cells := make([]cellPayload, len(res.Cells))
+	for i, c := range res.Cells {
+		cells[i] = cellPayload{TopK: c.TopK, Interior: c.Interior}
+	}
+	writeJSON(w, map[string]any{
+		"dataset":   ent.Name,
+		"cells":     cells,
+		"cache_hit": res.CacheHit,
+		"stats":     statsPayloadFrom(res.Stats),
+	})
+}
+
+// updateRequest is the JSON body of /update. Deletes apply before inserts.
+type updateRequest struct {
+	Delete []int       `json:"delete"`
+	Insert [][]float64 `json:"insert"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Delete)+len(req.Insert) == 0 {
+		http.Error(w, "provide delete ids and/or insert records", http.StatusBadRequest)
+		return
+	}
+	ops := make([]utk.UpdateOp, 0, len(req.Delete)+len(req.Insert))
+	for _, id := range req.Delete {
+		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateDelete, ID: id})
+	}
+	for _, rec := range req.Insert {
+		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateInsert, Record: rec})
+	}
+	res, err := ent.Engine.ApplyBatch(ops)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, utk.ErrUnknownRecord) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"dataset":      ent.Name,
+		"deleted":      req.Delete,
+		"inserted_ids": res.IDs[len(req.Delete):],
+		"epoch":        res.Epoch,
+		"live":         res.Live,
+		"superset":     res.SupersetSize,
+		"shadow":       res.ShadowSize,
+	})
+}
+
+// engineStatsPayload flattens one engine's counters.
+func engineStatsPayload(st utk.EngineStats) map[string]any {
+	return map[string]any{
+		"queries":          st.Queries,
+		"hits":             st.Hits,
+		"misses":           st.Misses,
+		"shared":           st.Shared,
+		"evictions":        st.Evictions,
+		"invalidations":    st.Invalidations,
+		"rejected":         st.Rejected,
+		"in_flight":        st.InFlight,
+		"cache_entries":    st.CacheEntries,
+		"epoch":            st.Epoch,
+		"live":             st.Live,
+		"superset_size":    st.SupersetSize,
+		"shadow_size":      st.ShadowSize,
+		"coverage":         st.Coverage,
+		"inserts":          st.Inserts,
+		"deletes":          st.Deletes,
+		"update_batches":   st.UpdateBatches,
+		"promotions":       st.Promotions,
+		"demotions":        st.Demotions,
+		"shadow_evictions": st.ShadowEvictions,
+		"rebuilds":         st.Rebuilds,
+		"max_k":            st.MaxK,
+		"workers":          st.Workers,
+		"shards":           st.Shards,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, engineStatsPayload(ent.Engine.Stats()))
+}
+
+func (s *Server) handleStatsAll(w http.ResponseWriter, r *http.Request) {
+	agg := s.reg.Stats()
+	per := make(map[string]any, len(agg.PerDataset))
+	for name, st := range agg.PerDataset {
+		per[name] = engineStatsPayload(st)
+	}
+	writeJSON(w, map[string]any{
+		"datasets":       agg.Datasets,
+		"shards":         agg.Shards,
+		"queries":        agg.Queries,
+		"hits":           agg.Hits,
+		"misses":         agg.Misses,
+		"shared":         agg.Shared,
+		"evictions":      agg.Evictions,
+		"invalidations":  agg.Invalidations,
+		"rejected":       agg.Rejected,
+		"in_flight":      agg.InFlight,
+		"cache_entries":  agg.CacheEntries,
+		"live":           agg.Live,
+		"inserts":        agg.Inserts,
+		"deletes":        agg.Deletes,
+		"update_batches": agg.UpdateBatches,
+		"per_dataset":    per,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	out := make([]map[string]any, 0, len(names))
+	for _, name := range names {
+		ent, err := s.reg.Get(name)
+		if err != nil {
+			continue // dropped between Names and Get
+		}
+		out = append(out, map[string]any{
+			"name":   ent.Name,
+			"len":    ent.Dataset.Len(),
+			"dim":    ent.Dataset.Dim(),
+			"max_k":  ent.Opts.MaxK,
+			"shards": ent.Engine.Shards(),
+		})
+	}
+	writeJSON(w, map[string]any{"datasets": out})
+}
+
+// createRequest is the JSON body of POST /datasets/{name}: explicit records,
+// or a generator spec.
+type createRequest struct {
+	Records   [][]float64 `json:"records"`
+	Gen       string      `json:"gen"`
+	N         int         `json:"n"`
+	D         int         `json:"d"`
+	Seed      int64       `json:"seed"`
+	MaxK      int         `json:"maxk"`
+	Shards    int         `json:"shards"`
+	Shadow    int         `json:"shadow"`
+	Cache     int         `json:"cache"`
+	Workers   int         `json:"workers"`
+	TimeoutMS int         `json:"timeout_ms"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	records := req.Records
+	if len(records) == 0 {
+		if req.Gen == "" {
+			http.Error(w, "provide records or a gen spec", http.StatusBadRequest)
+			return
+		}
+		n, d := req.N, req.D
+		if n <= 0 {
+			n = 1000
+		}
+		if d <= 0 {
+			d = 3
+		}
+		switch req.Gen {
+		case "HOTEL":
+			records = dataset.Hotel(n, req.Seed)
+		case "HOUSE":
+			records = dataset.House(n, req.Seed)
+		case "NBA":
+			records = dataset.NBA(n, req.Seed)
+		default:
+			kind, err := dataset.ParseKind(req.Gen)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			records = dataset.Synthetic(kind, n, d, req.Seed)
+		}
+	}
+	maxK := req.MaxK
+	if maxK <= 0 {
+		maxK = 10
+	}
+	ent, err := s.reg.Create(name, records, registry.Options{
+		Shards:       req.Shards,
+		MaxK:         maxK,
+		ShadowDepth:  req.Shadow,
+		CacheEntries: req.Cache,
+		Workers:      req.Workers,
+		QueryTimeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, registry.ErrExists) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{
+		"name":     ent.Name,
+		"len":      ent.Dataset.Len(),
+		"dim":      ent.Dataset.Dim(),
+		"max_k":    ent.Opts.MaxK,
+		"shards":   ent.Engine.Shards(),
+		"superset": ent.Engine.Stats().SupersetSize,
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	if err := s.reg.Drop(name); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"dropped": name})
+}
+
+func queryError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusServiceUnavailable
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The client went away mid-write; nothing useful to do.
+		_ = err
+	}
+}

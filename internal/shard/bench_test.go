@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// benchRegion is a narrow 3-dim preference box, matching the paper's typical
+// query shapes on d=4 data.
+func benchRegion(b *testing.B) *geom.Region {
+	b.Helper()
+	r, err := geom.NewBox([]float64{0.2, 0.2, 0.2}, []float64{0.23, 0.23, 0.23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkWarmQuery measures the cross-shard merge overhead against the
+// single-engine warm path on 10k points: caches are disabled, so every
+// iteration pays candidate collection (union of per-shard bands for S > 1),
+// the region-aware filter, and the exact refinement. shards=1single is the
+// engine.Engine baseline; shards=1..4 go through the merge layer.
+func BenchmarkWarmQuery(b *testing.B) {
+	const (
+		n    = 10000
+		d    = 4
+		maxK = 10
+		k    = 5
+	)
+	recs := dataset.Synthetic(dataset.IND, n, d, 1)
+	region := benchRegion(b)
+	req := engine.Request{Variant: engine.UTK1, K: k, Region: region}
+	ctx := context.Background()
+
+	b.Run("shards=1single", func(b *testing.B) {
+		tree, err := rtree.BulkLoad(recs, rtree.DefaultFanout)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(tree, recs, engine.Config{MaxK: maxK})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Do(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, S := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", S), func(b *testing.B) {
+			sh, err := New(recs, Config{Shards: S, Engine: engine.Config{MaxK: maxK}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sh.Do(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.Do(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedUpdate measures single-shard recompute on insert: only the
+// owning shard's band repairs, so cost should track the single-engine insert
+// path regardless of S.
+func BenchmarkShardedUpdate(b *testing.B) {
+	const (
+		n    = 10000
+		d    = 4
+		maxK = 10
+	)
+	recs := dataset.Synthetic(dataset.IND, n, d, 1)
+	for _, S := range []int{1, 4} {
+		b.Run(fmt.Sprintf("insert/shards=%d", S), func(b *testing.B) {
+			sh, err := New(recs, Config{Shards: S, Engine: engine.Config{MaxK: maxK}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := []float64{0.5, 0.5, 0.5, 0.5}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.Insert(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

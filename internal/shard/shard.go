@@ -1,0 +1,906 @@
+// Package shard horizontally partitions one dataset across S child engines
+// and answers UTK queries exactly by merging, the architectural step that
+// lets the serving tier scale past one partition (and, later, one machine).
+//
+// Exactness rests on the candidate-superset property of the paper's
+// filter-then-refine design: a record dominated by fewer than k others in
+// the whole dataset is dominated by fewer than k others within its shard
+// (its shard holds a subset of its dominators), so the global k-skyband is
+// contained in the union of the per-shard k-skybands. That union is
+// therefore a valid candidate superset for any query region — and because
+// exclusion during region-aware filtering only ever relies on k genuine
+// r-dominators, which are real records wherever they live, running the
+// existing exact filter (skyband.ScanGraph) and refinement
+// (core.RSAFromGraph / core.JAAFromGraph) over the union reproduces the
+// single-engine answer bit for bit. No per-shard refinement results are
+// combined — cross-shard merging of UTK2 partitionings would require
+// intersecting two arrangements and is not exact cell-by-cell — only
+// candidate sets are merged, and one global refinement runs.
+//
+// Each child engine maintains its shard's skyband superset incrementally
+// (per-shard caches of depth-derived candidate lists are reused as superset
+// providers via engine.Candidates), so a dynamic insert or delete routes to
+// the owning shard and recomputes only that shard's band. The merge layer
+// adds its own LRU result cache under the engine's canonical fingerprint
+// keys with the same batch-aware precise invalidation protocol, run against
+// the union band.
+//
+// Consistency: updates are serialized and atomic per shard. A query
+// concurrent with a multi-shard batch may observe a state where only a
+// prefix of the batch's per-shard sub-batches has applied (each shard's view
+// is still internally consistent, and single-shard batches — every Insert
+// and Delete — remain fully atomic). Results computed across an epoch change
+// are never cached.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/skyband"
+)
+
+// Errors returned by the sharded engine.
+var (
+	// ErrBadShards reports a non-positive shard count.
+	ErrBadShards = errors.New("shard: shard count must be positive")
+	// ErrTooFewRecords reports fewer initial records than shards.
+	ErrTooFewRecords = errors.New("shard: every shard needs at least one initial record")
+)
+
+// Config tunes a sharded engine.
+type Config struct {
+	// Shards is the number of horizontal partitions (required, positive).
+	Shards int
+	// Engine carries the per-shard maintenance parameters (MaxK,
+	// ShadowDepth) and the merge layer's serving parameters (CacheEntries,
+	// Workers, QueryTimeout). Child engines never serve queries directly, so
+	// their own result caches and worker pools are disabled; the merge layer
+	// owns both.
+	Engine engine.Config
+}
+
+// place locates a record: which shard holds it and under which local id.
+type place struct {
+	shard int
+	local int
+}
+
+// Engine serves UTK queries over a horizontally partitioned dataset through
+// the same request/update API as engine.Engine, with global record ids. It
+// is safe for concurrent use.
+type Engine struct {
+	cfg Config
+	dim int
+
+	shards []*engine.Engine
+
+	sem chan struct{} // merge-layer worker slots
+
+	// updMu serializes updates; it also guards nextGlobal/nextShard and the
+	// owner table's writers.
+	updMu      sync.Mutex
+	owner      map[int]place
+	nextGlobal int
+	nextShard  int
+
+	// routeMu guards localToGlobal: per shard, the global id assigned to
+	// each local id, indexed by local id. Entries are append-only — a local
+	// id's global id never changes, and mappings outlive deletions — so a
+	// query mapping a candidate snapshot from any epoch always resolves.
+	routeMu       sync.RWMutex
+	localToGlobal [][]int
+
+	// seq is the update seqlock: odd while an ApplyBatch is mutating shards
+	// or probing the cache. A query only caches its result if seq was even
+	// and unchanged across its whole computation, so answers computed over a
+	// partially applied multi-shard batch — or raced against the probe
+	// window — are served but never cached.
+	seq atomic.Uint64
+
+	// merged caches the cross-shard candidate index for the current
+	// per-shard epoch vector; queries CAS in a fresh one when any shard's
+	// epoch moves. See mergedIndex.
+	merged atomic.Pointer[mergedIndex]
+
+	mu            sync.Mutex
+	cache         *engine.ResultCache
+	inflight      map[string]*flight
+	queries       uint64
+	hits          uint64
+	misses        uint64
+	shared        uint64
+	evicted       uint64
+	invalidations uint64
+	rejected      uint64
+	batches       uint64
+	active        int
+}
+
+// flight is one in-progress merge computation that concurrent identical
+// queries rendezvous on instead of each re-running the filter+refinement.
+type flight struct {
+	done chan struct{}
+	res  *engine.Result
+	err  error
+}
+
+// errAborted marks a flight whose leader gave up (context expiry) before the
+// computation finished; waiters react by electing a new leader.
+var errAborted = errors.New("shard: in-flight computation aborted")
+
+// New builds a sharded engine over the records, assigning global ids 0..n-1
+// and distributing records round-robin across cfg.Shards partitions (shard
+// of initial record i is i mod S). The records are copied per shard by the
+// underlying index build; the caller's slices are not retained.
+func New(records [][]float64, cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, ErrBadShards
+	}
+	if cfg.Engine.MaxK <= 0 {
+		return nil, core.ErrBadK
+	}
+	if len(records) < cfg.Shards {
+		return nil, fmt.Errorf("%w: %d records across %d shards", ErrTooFewRecords, len(records), cfg.Shards)
+	}
+	s := &Engine{
+		cfg:           cfg,
+		shards:        make([]*engine.Engine, cfg.Shards),
+		owner:         make(map[int]place, len(records)),
+		localToGlobal: make([][]int, cfg.Shards),
+		nextGlobal:    len(records),
+		nextShard:     len(records) % cfg.Shards,
+		inflight:      make(map[string]*flight),
+	}
+	parts := make([][][]float64, cfg.Shards)
+	for g, rec := range records {
+		sh := g % cfg.Shards
+		s.owner[g] = place{shard: sh, local: len(parts[sh])}
+		s.localToGlobal[sh] = append(s.localToGlobal[sh], g)
+		parts[sh] = append(parts[sh], rec)
+	}
+	childCfg := cfg.Engine
+	childCfg.CacheEntries = 0 // children never serve Do; the merge layer caches
+	childCfg.Workers = 1
+	childCfg.QueryTimeout = 0
+	for sh, part := range parts {
+		tree, err := rtree.BulkLoad(part, rtree.DefaultFanout)
+		if err != nil {
+			return nil, err
+		}
+		child, err := engine.New(tree, part, childCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[sh] = child
+	}
+	s.dim = s.shards[0].Dim()
+	workers := cfg.Engine.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.sem = make(chan struct{}, workers)
+	if cfg.Engine.CacheEntries > 0 {
+		s.cache = engine.NewResultCache(cfg.Engine.CacheEntries)
+	}
+	return s, nil
+}
+
+// Shards returns the number of partitions.
+func (s *Engine) Shards() int { return len(s.shards) }
+
+// MaxK returns the largest supported top-k depth.
+func (s *Engine) MaxK() int { return s.cfg.Engine.MaxK }
+
+// Epoch returns the sum of the per-shard index versions — a version counter
+// for the sharded dataset as a whole, advancing whenever any shard's
+// candidate superset changes.
+func (s *Engine) Epoch() uint64 {
+	var sum uint64
+	for _, ch := range s.shards {
+		sum += ch.Epoch()
+	}
+	return sum
+}
+
+// Owner reports which shard currently holds the live record with the given
+// global id.
+func (s *Engine) Owner(id int) (shard int, ok bool) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	p, ok := s.owner[id]
+	return p.shard, ok
+}
+
+// Insert adds a record, returning its assigned global id.
+func (s *Engine) Insert(rec []float64) (int, error) {
+	res, err := s.ApplyBatch([]engine.UpdateOp{{Kind: engine.UpdateInsert, Record: rec}})
+	if err != nil {
+		return 0, err
+	}
+	return res.IDs[0], nil
+}
+
+// Delete removes the record with the given global id.
+func (s *Engine) Delete(id int) error {
+	_, err := s.ApplyBatch([]engine.UpdateOp{{Kind: engine.UpdateDelete, ID: id}})
+	return err
+}
+
+// opPlan is the routing decision for one batch op, fixed before any shard is
+// touched.
+type opPlan struct {
+	shard  int
+	global int
+}
+
+// ApplyBatch validates the whole batch up front (a malformed batch is a full
+// no-op), routes each op to its owning shard — inserts round-robin, deletes
+// by the global id's owner, including ids the same batch inserts — and
+// applies one atomic sub-batch per shard. Per-op global ids are returned
+// index-aligned with ops. See the package comment for the cross-shard
+// consistency guarantee.
+func (s *Engine) ApplyBatch(ops []engine.UpdateOp) (*engine.UpdateResult, error) {
+	for _, op := range ops {
+		if op.Kind == engine.UpdateInsert {
+			if len(op.Record) != s.dim {
+				return nil, engine.ErrBadUpdate
+			}
+			for _, v := range op.Record {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, engine.ErrBadUpdate
+				}
+			}
+		} else if op.Kind != engine.UpdateDelete {
+			return nil, engine.ErrBadUpdate
+		}
+	}
+
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+
+	// Plan: assign global ids and shards for inserts, resolve owners for
+	// deletes. Child local ids are assigned sequentially from NextID, so the
+	// local id of every in-batch insert is known before applying — which is
+	// what lets a delete of an id inserted earlier in the same batch land in
+	// the right shard's sub-batch with the right local id.
+	nextLocal := make([]int, len(s.shards))
+	for sh, ch := range s.shards {
+		nextLocal[sh] = ch.NextID()
+	}
+	plan := make([]opPlan, len(ops))
+	subOps := make([][]engine.UpdateOp, len(s.shards))
+	inserted := map[int]place{}
+	deleted := map[int]bool{}
+	nextGlobal, nextShard := s.nextGlobal, s.nextShard
+	for i, op := range ops {
+		if op.Kind == engine.UpdateInsert {
+			sh := nextShard
+			nextShard = (nextShard + 1) % len(s.shards)
+			g := nextGlobal
+			nextGlobal++
+			inserted[g] = place{shard: sh, local: nextLocal[sh]}
+			nextLocal[sh]++
+			plan[i] = opPlan{shard: sh, global: g}
+			subOps[sh] = append(subOps[sh], engine.UpdateOp{Kind: engine.UpdateInsert, Record: op.Record})
+			continue
+		}
+		g := op.ID
+		p, ok := s.owner[g]
+		if !ok {
+			p, ok = inserted[g]
+		}
+		if !ok || deleted[g] {
+			return nil, engine.ErrUnknownRecord
+		}
+		deleted[g] = true
+		plan[i] = opPlan{shard: p.shard, global: g}
+		subOps[p.shard] = append(subOps[p.shard], engine.UpdateOp{Kind: engine.UpdateDelete, ID: p.local})
+	}
+
+	// Probe prep, before anything applies: record vectors of net deletes and
+	// per-shard starting-band membership (see invalidate).
+	var delProbes []mergeProbe
+	probing := s.cache != nil
+	if probing {
+		startBand := make([]map[int]bool, len(s.shards))
+		for i, op := range ops {
+			if op.Kind != engine.UpdateDelete {
+				continue
+			}
+			g := plan[i].global
+			if _, inBatch := inserted[g]; inBatch {
+				continue // transient: in neither boundary state
+			}
+			sh := plan[i].shard
+			if startBand[sh] == nil {
+				ids, _, _, err := s.shards[sh].Candidates(s.cfg.Engine.MaxK)
+				if err != nil {
+					return nil, err
+				}
+				startBand[sh] = make(map[int]bool, len(ids))
+				for _, lid := range ids {
+					startBand[sh][lid] = true
+				}
+			}
+			local := s.owner[g].local
+			if !startBand[sh][local] {
+				// Outside its shard's starting band means at least MaxK
+				// dominators pre-batch: the record was in no top-k set.
+				continue
+			}
+			rec, ok := s.shards[sh].Record(local)
+			if !ok {
+				return nil, engine.ErrUnknownRecord // unreachable after validation
+			}
+			delProbes = append(delProbes, mergeProbe{rec: rec, exclude: -1})
+		}
+	}
+
+	// Install insert routing BEFORE touching any shard: the instant a child
+	// publishes its new index, a concurrent query may map the fresh local
+	// ids through localToGlobal, so the table must already cover them.
+	// Entries for ids a child has not published yet are unreadable (queries
+	// only map local ids appearing in a published candidate list), so the
+	// early install is invisible until the child applies.
+	s.routeMu.Lock()
+	for i, op := range ops {
+		if op.Kind == engine.UpdateInsert {
+			g := plan[i].global
+			p := inserted[g]
+			if len(s.localToGlobal[p.shard]) != p.local {
+				s.routeMu.Unlock()
+				return nil, fmt.Errorf("shard %d: local id drift: predicted %d, have %d", p.shard, p.local, len(s.localToGlobal[p.shard]))
+			}
+			s.localToGlobal[p.shard] = append(s.localToGlobal[p.shard], g)
+			s.owner[g] = p
+		}
+	}
+	s.routeMu.Unlock()
+
+	// Apply, one atomic sub-batch per shard. The seqlock goes odd here and
+	// even again only after invalidation probes finish, so any query
+	// overlapping the window is served but never cached.
+	preEpoch := s.Epoch()
+	s.seq.Add(1)
+	defer s.seq.Add(1)
+	for sh, sub := range subOps {
+		if len(sub) == 0 {
+			continue
+		}
+		if _, err := s.shards[sh].ApplyBatch(sub); err != nil {
+			// Unreachable after validation (the op set was pre-validated and
+			// updates are serialized); surfaced rather than swallowed because
+			// earlier shards' sub-batches have already applied.
+			return nil, fmt.Errorf("shard %d: sub-batch failed after partial application: %w", sh, err)
+		}
+	}
+
+	for g := range deleted {
+		delete(s.owner, g)
+	}
+	s.nextGlobal, s.nextShard = nextGlobal, nextShard
+
+	postEpoch := s.Epoch()
+	if probing && postEpoch != preEpoch {
+		s.invalidate(inserted, deleted, delProbes)
+	}
+
+	ids := make([]int, len(ops))
+	for i := range ops {
+		ids[i] = plan[i].global
+	}
+	live, superset, shadow := 0, 0, 0
+	for _, ch := range s.shards {
+		st := ch.Stats()
+		live += st.Live
+		superset += st.SupersetSize
+		shadow += st.ShadowSize
+	}
+	s.mu.Lock()
+	s.batches++
+	s.mu.Unlock()
+	return &engine.UpdateResult{
+		IDs:          ids,
+		Epoch:        postEpoch,
+		Live:         live,
+		SupersetSize: superset,
+		ShadowSize:   shadow,
+	}, nil
+}
+
+// mergeProbe is one updated record awaiting the batch's shared invalidation
+// probe against the post-batch union band — the cross-shard analogue of the
+// engine's affectsTest, under the same per-batch soundness argument: a
+// cached (region, k) entry survives iff at least k counted union-band
+// members r-dominate the record throughout the region. For a net insert the
+// counted members exclude the record itself (everything else in the union
+// band is live post-batch); for a net delete they exclude every id the batch
+// inserted (the rest were live pre-batch).
+type mergeProbe struct {
+	rec        []float64
+	exclude    int          // global id to skip, or -1
+	excludeSet map[int]bool // batch-inserted global ids to skip, or nil
+}
+
+func (p *mergeProbe) affects(r *geom.Region, k int, ids []int, recs [][]float64) bool {
+	cnt := 0
+	for i, m := range recs {
+		id := ids[i]
+		if id == p.exclude || p.excludeSet[id] {
+			continue
+		}
+		if skyband.RDominates(m, p.rec, r) {
+			cnt++
+			if cnt >= k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// invalidate runs the batch's probes against the post-batch union band and
+// evicts the affected cache entries. The window between the entry snapshot
+// and the eviction is bridged by the seqlock (still odd here): results
+// finishing meanwhile are served but not cached, so no stale entry can slip
+// in behind the scan.
+func (s *Engine) invalidate(inserted map[int]place, deleted map[int]bool, delProbes []mergeProbe) {
+	s.mu.Lock()
+	entries := s.cache.Snapshot()
+	s.mu.Unlock()
+
+	unionIDs, unionRecs := s.unionBand()
+	pos := make(map[int]int, len(unionIDs))
+	for i, g := range unionIDs {
+		pos[g] = i
+	}
+	insertedSet := make(map[int]bool, len(inserted))
+	for g := range inserted {
+		insertedSet[g] = true
+	}
+	var probes []mergeProbe
+	for g := range inserted {
+		if deleted[g] {
+			continue // transient
+		}
+		i, inBand := pos[g]
+		if !inBand {
+			// Outside its shard's final band means at least MaxK dominators
+			// post-batch: the newcomer joins no top-k set.
+			continue
+		}
+		probes = append(probes, mergeProbe{rec: unionRecs[i], exclude: g})
+	}
+	for _, p := range delProbes {
+		p.excludeSet = insertedSet
+		probes = append(probes, p)
+	}
+
+	var affected []string
+	for _, ent := range entries {
+		for i := range probes {
+			if probes[i].affects(ent.Region, ent.K, unionIDs, unionRecs) {
+				affected = append(affected, ent.Key)
+				break
+			}
+		}
+	}
+
+	s.mu.Lock()
+	if len(affected) > 0 {
+		s.invalidations += uint64(s.cache.EvictKeys(affected))
+	}
+	s.mu.Unlock()
+}
+
+// unionBand collects every shard's MaxK-depth candidate list mapped to
+// global ids — the merge layer's superset of the global MaxK-skyband.
+func (s *Engine) unionBand() ([]int, [][]float64) {
+	var ids []int
+	var recs [][]float64
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	for sh, ch := range s.shards {
+		cids, crecs, _, err := ch.Candidates(s.cfg.Engine.MaxK)
+		if err != nil {
+			continue // unreachable: MaxK is always a valid depth
+		}
+		for _, lid := range cids {
+			ids = append(ids, s.localToGlobal[sh][lid])
+		}
+		recs = append(recs, crecs...)
+	}
+	return ids, recs
+}
+
+// mergedSub is the merged candidate list for one depth: the global
+// k-skyband, as parallel global-id/record slices, treated as immutable.
+type mergedSub struct {
+	ids  []int
+	recs [][]float64
+}
+
+// mergedIndex is one epoch-vector view of the cross-shard candidate lists.
+// Collecting and reducing the union of per-shard candidates is done once per
+// (depth, epoch vector) and shared by every subsequent warm query — the
+// merge-layer analogue of the engine's per-epoch index — so the steady-state
+// query path filters a candidate list of exactly the single-engine size
+// instead of re-unioning S shard bands per query. The reduction is exact:
+// the union of per-shard k-skybands contains the global k-skyband, and a
+// union record with at least k dominators in the full dataset also has at
+// least k dominators inside the union (its dominators within the global
+// k-skyband are all union members), so the classic k-skyband of the union
+// IS the global k-skyband.
+type mergedIndex struct {
+	epochs   []uint64
+	epochSum uint64
+	mu       sync.Mutex
+	subs     map[int]*mergedSub
+}
+
+// childEpochs snapshots every shard's current index version.
+func (s *Engine) childEpochs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, ch := range s.shards {
+		out[i] = ch.Epoch()
+	}
+	return out
+}
+
+// currentMerged returns a merged index whose epoch vector matched the
+// shards when observed, installing a fresh one if any shard has moved.
+func (s *Engine) currentMerged() *mergedIndex {
+	for {
+		mi := s.merged.Load()
+		if mi != nil {
+			stale := false
+			for sh, ch := range s.shards {
+				if ch.Epoch() != mi.epochs[sh] {
+					stale = true
+					break
+				}
+			}
+			if !stale {
+				return mi
+			}
+		}
+		fresh := &mergedIndex{epochs: s.childEpochs(), subs: map[int]*mergedSub{}}
+		for _, ep := range fresh.epochs {
+			fresh.epochSum += ep
+		}
+		if s.merged.CompareAndSwap(mi, fresh) {
+			return fresh
+		}
+	}
+}
+
+// subFor returns the merged candidate list for depth k, deriving and caching
+// it on first use. It reports false when a shard's epoch drifted from the
+// index's vector mid-collection — the caller refreshes and retries.
+func (s *Engine) subFor(mi *mergedIndex, k int) (*mergedSub, bool) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	if sub, ok := mi.subs[k]; ok {
+		return sub, true
+	}
+	var gids []int
+	var grecs [][]float64
+	s.routeMu.RLock()
+	for sh, ch := range s.shards {
+		cids, crecs, ep, err := ch.Candidates(k)
+		if err != nil || ep != mi.epochs[sh] {
+			s.routeMu.RUnlock()
+			return nil, false
+		}
+		for _, lid := range cids {
+			gids = append(gids, s.localToGlobal[sh][lid])
+		}
+		grecs = append(grecs, crecs...)
+	}
+	s.routeMu.RUnlock()
+	keep := skyband.ScanKSkyband(grecs, k)
+	ids := make([]int, len(keep))
+	recs := make([][]float64, len(keep))
+	for i, idx := range keep {
+		ids[i] = gids[idx]
+		recs[i] = grecs[idx]
+	}
+	sub := &mergedSub{ids: ids, recs: recs}
+	mi.subs[k] = sub
+	return sub, true
+}
+
+// Do answers one request: cache lookup, then a pooled cross-shard merge —
+// resolve the merged candidate index for the current epochs, filter it with
+// the region-aware scan, and run the exact refinement once, globally.
+func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, error) {
+	if err := s.validate(req); err != nil {
+		return nil, err
+	}
+	if s.cfg.Engine.QueryTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Engine.QueryTimeout)
+			defer cancel()
+		}
+	}
+	key := engine.Fingerprint(req.Variant, req.K, req.Region, req.Opts)
+
+	// Election: answer from the cache, join an identical in-flight merge, or
+	// become the leader. Waiters on a leader that computed across an update
+	// may receive a pre-update answer (a consistent state they could equally
+	// have observed by arriving earlier); such results are never cached.
+	var fl *flight
+	for fl == nil {
+		s.mu.Lock()
+		if s.cache != nil {
+			if res, ok := s.cache.Get(key); ok {
+				s.hits++
+				s.queries++
+				s.mu.Unlock()
+				hit := *res
+				hit.CacheHit = true
+				return &hit, nil
+			}
+		}
+		if other, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-other.done:
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.rejected++
+				s.mu.Unlock()
+				return nil, ctx.Err()
+			}
+			if errors.Is(other.err, errAborted) {
+				continue // the leader never finished; elect a new leader
+			}
+			s.mu.Lock()
+			s.shared++
+			s.queries++
+			s.mu.Unlock()
+			return other.res, other.err
+		}
+		fl = &flight{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
+	}
+
+	acquired := false
+	if ctx.Err() == nil {
+		select {
+		case s.sem <- struct{}{}:
+			acquired = true
+		case <-ctx.Done():
+		}
+	}
+	if !acquired {
+		s.finish(key, fl, nil, errAborted)
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	seq0 := s.seq.Load()
+	res, err := s.compute(ctx, req)
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+	<-s.sem
+
+	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			// The leader's deadline expired mid-refinement; waiters re-elect
+			// rather than inheriting its fate.
+			s.finish(key, fl, nil, errAborted)
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			return nil, err
+		}
+		s.finish(key, fl, nil, err)
+		return nil, err
+	}
+
+	fl.res = res
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.misses++
+	s.queries++
+	// Cache only results whose whole computation ran between updates: seq
+	// even and unchanged means no batch applied, probed, or published
+	// anywhere inside the window, so the result reflects the current state
+	// and cannot have missed an invalidation probe.
+	if s.cache != nil && seq0%2 == 0 && s.seq.Load() == seq0 {
+		if s.cache.Add(key, req.Region, req.K, res) {
+			s.evicted++
+		}
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return res, nil
+}
+
+// finish publishes a flight outcome and wakes waiters.
+func (s *Engine) finish(key string, fl *flight, res *engine.Result, err error) {
+	fl.res, fl.err = res, err
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// DoBatch answers a batch of requests concurrently (bounded by the merge
+// layer's worker pool), one result or error per request, index-aligned.
+func (s *Engine) DoBatch(ctx context.Context, reqs []engine.Request) ([]*engine.Result, []error) {
+	results := make([]*engine.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req engine.Request) {
+			defer wg.Done()
+			results[i], errs[i] = s.Do(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// compute resolves the merged candidate index for the current epoch vector
+// and runs the exact refinement over it. Resolution is retried a few times
+// if updates land mid-collection (detected by per-shard epoch drift); under
+// a persistent update storm the last collected union — internally
+// consistent per shard — is used, and the seqlock keeps such a result out
+// of the cache.
+func (s *Engine) compute(ctx context.Context, req engine.Request) (*engine.Result, error) {
+	st := &core.Stats{}
+	opts := req.Opts
+	opts.Workers = 0
+	done := ctx.Done()
+	opts.Cancel = func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
+	start := time.Now()
+	var sub *mergedSub
+	var epochSum uint64
+	for attempt := 0; sub == nil && attempt < 4; attempt++ {
+		mi := s.currentMerged()
+		if got, ok := s.subFor(mi, req.K); ok {
+			sub = got
+			epochSum = mi.epochSum
+		}
+	}
+	if sub == nil {
+		// Update storm: collect the raw union without the merged cache.
+		var gids []int
+		var grecs [][]float64
+		s.routeMu.RLock()
+		for sh, ch := range s.shards {
+			cids, crecs, ep, err := ch.Candidates(req.K)
+			if err != nil {
+				s.routeMu.RUnlock()
+				return nil, err
+			}
+			epochSum += ep
+			for _, lid := range cids {
+				gids = append(gids, s.localToGlobal[sh][lid])
+			}
+			grecs = append(grecs, crecs...)
+		}
+		s.routeMu.RUnlock()
+		sub = &mergedSub{ids: gids, recs: grecs}
+	}
+	g := skyband.ScanGraph(sub.recs, sub.ids, req.Region, req.K)
+	st.FilterDuration = time.Since(start)
+
+	res := &engine.Result{Epoch: epochSum}
+	switch req.Variant {
+	case engine.UTK1:
+		out, err := core.RSAFromGraph(g, req.Region, req.K, opts, st)
+		if err != nil {
+			return nil, err
+		}
+		sort.Ints(out)
+		res.IDs = out
+	case engine.UTK2:
+		cells, err := core.JAAFromGraph(g, req.Region, req.K, opts, st)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = cells
+	default:
+		return nil, errors.New("shard: unknown variant")
+	}
+	res.Stats = *st
+	return res, nil
+}
+
+func (s *Engine) validate(req engine.Request) error {
+	if req.K <= 0 {
+		return core.ErrBadK
+	}
+	if req.K > s.cfg.Engine.MaxK {
+		return engine.ErrKTooLarge
+	}
+	if req.Region == nil {
+		return engine.ErrNilRegion
+	}
+	if req.Region.Dim() != s.dim-1 {
+		return core.ErrDimMismatch
+	}
+	return nil
+}
+
+// Stats aggregates the merge layer's serving counters with the summed
+// per-shard maintenance counters. Epoch, Live, SupersetSize, and ShadowSize
+// are sums across shards; Coverage is the weakest per-shard guarantee.
+func (s *Engine) Stats() engine.Stats {
+	agg := engine.Stats{MaxK: s.cfg.Engine.MaxK, Workers: cap(s.sem)}
+	for i, ch := range s.shards {
+		st := ch.Stats()
+		agg.Epoch += st.Epoch
+		agg.Live += st.Live
+		agg.SupersetSize += st.SupersetSize
+		agg.ShadowSize += st.ShadowSize
+		if i == 0 || st.Coverage < agg.Coverage {
+			agg.Coverage = st.Coverage
+		}
+		agg.Inserts += st.Inserts
+		agg.Deletes += st.Deletes
+		agg.Promotions += st.Promotions
+		agg.Demotions += st.Demotions
+		agg.ShadowEvictions += st.ShadowEvictions
+		agg.Rebuilds += st.Rebuilds
+	}
+	s.mu.Lock()
+	agg.Queries = s.queries
+	agg.Hits = s.hits
+	agg.Misses = s.misses
+	agg.Shared = s.shared
+	agg.Evictions = s.evicted
+	agg.Invalidations = s.invalidations
+	agg.Rejected = s.rejected
+	agg.InFlight = s.active
+	agg.UpdateBatches = s.batches
+	if s.cache != nil {
+		agg.CacheEntries = s.cache.Len()
+	}
+	s.mu.Unlock()
+	return agg
+}
+
+// ShardStats returns each child engine's own counters, index-aligned with
+// shard numbers.
+func (s *Engine) ShardStats() []engine.Stats {
+	out := make([]engine.Stats, len(s.shards))
+	for i, ch := range s.shards {
+		out[i] = ch.Stats()
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package utk
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestShardedEngineFacadeMatchesDataset pins the facade-level federation
+// claim: a NewShardedEngine answers UTK1 and UTK2 exactly like the direct
+// Dataset computation (and hence like NewEngine), for S = 1..4.
+func TestShardedEngineFacadeMatchesDataset(t *testing.T) {
+	ds, r := facadeFixture(t)
+	ctx := context.Background()
+	for S := 1; S <= 4; S++ {
+		e, err := ds.NewShardedEngine(S, EngineConfig{MaxK: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Shards() != S {
+			t.Fatalf("Shards() = %d, want %d", e.Shards(), S)
+		}
+		for _, k := range []int{1, 5, 10} {
+			q := Query{K: k, Region: r}
+			want1, err := ds.UTK1(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, err := e.UTK1(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got1.Records) != fmt.Sprint(want1.Records) {
+				t.Errorf("S=%d k=%d: sharded UTK1 %v != dataset %v", S, k, got1.Records, want1.Records)
+			}
+			want2, err := ds.UTK2(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := e.UTK2(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(cellSets(got2.Cells)) != fmt.Sprint(cellSets(want2.Cells)) {
+				t.Errorf("S=%d k=%d: sharded UTK2 cells diverge from dataset", S, k)
+			}
+		}
+	}
+}
+
+// TestShardedEngineFacadeUpdates routes updates through the sharded facade
+// and checks stats plumbing: ids continue the dataset's range, answers see
+// the update, and EngineStats reports the shard count and aggregated state.
+func TestShardedEngineFacadeUpdates(t *testing.T) {
+	ds, r := facadeFixture(t)
+	ctx := context.Background()
+	e, err := ds.NewShardedEngine(3, EngineConfig{MaxK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := e.Insert([]float64{2, 2, 2}) // dominates everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ds.Len() {
+		t.Fatalf("insert id = %d, want %d", id, ds.Len())
+	}
+	res, err := e.UTK1(ctx, Query{K: 3, Region: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, got := range res.Records {
+		if got == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dominating insert %d missing from sharded UTK1 %v", id, res.Records)
+	}
+
+	batch, err := e.ApplyBatch([]UpdateOp{
+		{Kind: UpdateDelete, ID: id},
+		{Kind: UpdateInsert, Record: []float64{0.5, 0.5, 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.IDs[0] != id || batch.IDs[1] != id+1 {
+		t.Fatalf("batch ids %v, want [%d %d]", batch.IDs, id, id+1)
+	}
+	if batch.Live != ds.Len()+1 {
+		t.Fatalf("live %d, want %d", batch.Live, ds.Len()+1)
+	}
+
+	st := e.Stats()
+	if st.Shards != 3 {
+		t.Fatalf("stats shards = %d, want 3", st.Shards)
+	}
+	if st.Inserts != 2 || st.Deletes != 1 {
+		t.Fatalf("update counters: %+v", st)
+	}
+	if st.Live != ds.Len()+1 {
+		t.Fatalf("stats live = %d, want %d", st.Live, ds.Len()+1)
+	}
+
+	// Unsharded engines report Shards == 1 through the same stats surface.
+	single, err := ds.NewEngine(EngineConfig{MaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Stats().Shards; got != 1 {
+		t.Fatalf("single-engine stats shards = %d, want 1", got)
+	}
+}
