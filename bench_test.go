@@ -753,3 +753,87 @@ func BenchmarkUpdateThenQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineContainment measures the containment-reuse fast path: with
+// one UTK2 partitioning cached for an outer region, queries for fresh nested
+// regions (never seen before, so always exact-fingerprint misses) are served
+// by cell clipping. "cold" is the same nested-region stream paying the full
+// pipeline — the bound the derived path must sit far below; the existing
+// warm/hot engine benchmarks are the other reference points.
+func BenchmarkEngineContainment(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	ds, err := NewDataset(idx.data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dim := benchD - 1
+	gr := benchBox(b, dim, 0.02)
+	lo, hi := gr.Bounds()
+	outer, err := NewBoxRegion(lo, hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Nested regions keep 90–98% of the outer extent at a random offset —
+	// the near-miss traffic pattern containment reuse exists for.
+	mkInner := func(i int) *Region {
+		rng := rand.New(rand.NewSource(int64(i) + 11))
+		l := make([]float64, dim)
+		h := make([]float64, dim)
+		for j := range l {
+			w := hi[j] - lo[j]
+			shrink := (0.02 + 0.08*rng.Float64()) * w
+			off := rng.Float64() * shrink
+			l[j] = lo[j] + off
+			h[j] = hi[j] - (shrink - off)
+		}
+		r, err := NewBoxRegion(l, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	ctx := context.Background()
+
+	b.Run("cold/utk2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.UTK2(Query{K: benchK, Region: mkInner(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, variant := range []string{"utk1", "utk2"} {
+		b.Run("derived/"+variant, func(b *testing.B) {
+			e, err := ds.NewEngine(EngineConfig{MaxK: 2 * benchK})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.UTK2(ctx, Query{K: benchK, Region: outer}); err != nil {
+				b.Fatal(err) // cache the containment source
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := Query{K: benchK, Region: mkInner(i)}
+				var derived bool
+				if variant == "utk1" {
+					res, err := e.UTK1(ctx, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					derived = res.Derived
+				} else {
+					res, err := e.UTK2(ctx, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					derived = res.Derived
+				}
+				if !derived {
+					b.Fatal("nested query was not containment-derived")
+				}
+			}
+			if st := e.Stats(); st.DerivedHits != uint64(b.N) {
+				b.Fatalf("derived hits %d != %d iterations", st.DerivedHits, b.N)
+			}
+		})
+	}
+}

@@ -24,13 +24,17 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dataset"
@@ -50,11 +54,12 @@ func main() {
 		shards   = flag.Int("shards", 1, "horizontal partitions of the initial dataset (1 = unsharded)")
 		maxK     = flag.Int("maxk", 20, "largest top-k depth the engine serves")
 		shadow   = flag.Int("shadow", 0, "deletion-repair shadow depth beyond maxk (0 = maxk)")
-		cache    = flag.Int("cache", 0, "LRU result-cache entries (0 = default, negative disables)")
+		cache    = flag.Int("cache", 0, "result-cache entries (0 = default, negative disables)")
 		workers  = flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-query deadline (0 = none)")
 		noAdmin  = flag.Bool("no-admin", false, "disable dataset create/drop over HTTP")
 		maxBody  = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default)")
+		grace    = flag.Duration("grace", 10*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -82,8 +87,32 @@ func main() {
 	st := ent.Engine.Stats()
 	log.Printf("utkserve: dataset %q: %d records, %d attributes, maxk=%d, shards=%d, superset=%d, listening on %s",
 		ent.Name, ent.Dataset.Len(), ent.Dataset.Dim(), *maxK, ent.Engine.Shards(), st.SupersetSize, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
+	// drains in-flight requests for up to -grace before exiting; a second
+	// signal aborts the drain immediately (signal.NotifyContext unregisters
+	// after the first, restoring the default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
 		fail(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("utkserve: shutdown signal received, draining for up to %v", *grace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Printf("utkserve: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+		log.Printf("utkserve: drained cleanly")
 	}
 }
 

@@ -20,8 +20,12 @@ type EngineConfig struct {
 	// MaxK. Deeper shadows survive more skyline-area deletions between
 	// recompute fallbacks at the cost of a larger resident member set.
 	ShadowDepth int
-	// CacheEntries bounds the LRU result cache. Zero selects
-	// DefaultEngineCacheEntries; negative values disable caching.
+	// CacheEntries bounds the result cache (cost-aware eviction with a
+	// containment index; see EngineStats.DerivedHits/CostEvictions). Zero
+	// selects DefaultEngineCacheEntries; negative values disable caching.
+	// Eviction scans all resident entries on overflow, so very large
+	// capacities (tens of thousands and up) trade insert latency for hit
+	// rate.
 	CacheEntries int
 	// Workers bounds the number of concurrently executing queries; values
 	// below 1 default to runtime.GOMAXPROCS(0).
@@ -40,8 +44,10 @@ const DefaultEngineCacheEntries = 256
 
 // Engine serves many UTK queries over one dataset, amortizing work across
 // queries: the r-dominance filtering reuses a maintained candidate superset,
-// identical queries are answered from an LRU cache (with single-flight
-// deduplication of concurrent duplicates), and execution runs on a bounded
+// identical queries are answered from a cost-aware result cache — with
+// containment-based reuse deriving answers for regions nested in a cached
+// UTK2 region by cell clipping, and single-flight deduplication of
+// concurrent duplicates — and execution runs on a bounded
 // worker pool with per-query deadlines threaded into the refinement
 // recursion. It is safe for concurrent use.
 //
@@ -107,14 +113,19 @@ type EngineStats struct {
 	Queries uint64
 	// Hits and Misses split result-cache lookups; Shared counts queries that
 	// coalesced onto another caller's identical in-flight computation.
-	Hits   uint64
-	Misses uint64
-	Shared uint64
-	// Evictions counts LRU capacity evictions; Invalidations counts cache
-	// entries evicted because an update could affect them. Rejected counts
-	// queries that gave up (deadline or cancellation) before obtaining a
-	// result.
+	// DerivedHits counts misses answered by clipping a cached
+	// containing-region UTK2 result instead of recomputing.
+	Hits        uint64
+	Misses      uint64
+	Shared      uint64
+	DerivedHits uint64
+	// Evictions counts capacity evictions; CostEvictions counts the subset
+	// where the cost-aware policy chose a different victim than plain
+	// recency would have. Invalidations counts cache entries evicted because
+	// an update could affect them. Rejected counts queries that gave up
+	// (deadline or cancellation) before obtaining a result.
 	Evictions     uint64
+	CostEvictions uint64
 	Invalidations uint64
 	Rejected      uint64
 	// InFlight is the number of computations executing right now.
@@ -226,7 +237,9 @@ func (e *Engine) Stats() EngineStats {
 		Hits:            st.Hits,
 		Misses:          st.Misses,
 		Shared:          st.Shared,
+		DerivedHits:     st.DerivedHits,
 		Evictions:       st.Evictions,
+		CostEvictions:   st.CostEvictions,
 		Invalidations:   st.Invalidations,
 		Rejected:        st.Rejected,
 		InFlight:        st.InFlight,
@@ -321,6 +334,7 @@ func (e *Engine) UTK1(ctx context.Context, q Query) (*UTK1Result, error) {
 		Records:  append([]int(nil), res.IDs...),
 		Stats:    statsFromCore(&res.Stats),
 		CacheHit: res.CacheHit,
+		Derived:  res.Derived,
 	}, nil
 }
 
@@ -333,6 +347,7 @@ func (e *Engine) UTK2(ctx context.Context, q Query) (*UTK2Result, error) {
 	}
 	out := utk2ResultFromCells(res.Cells, statsFromCore(&res.Stats))
 	out.CacheHit = res.CacheHit
+	out.Derived = res.Derived
 	return out, nil
 }
 
@@ -345,6 +360,7 @@ func (e *Engine) UTK1Batch(ctx context.Context, qs []Query) ([]*UTK1Result, []er
 			Records:  append([]int(nil), res.IDs...),
 			Stats:    statsFromCore(&res.Stats),
 			CacheHit: res.CacheHit,
+			Derived:  res.Derived,
 		}
 	})
 	return results, errs
@@ -356,6 +372,7 @@ func (e *Engine) UTK2Batch(ctx context.Context, qs []Query) ([]*UTK2Result, []er
 	errs := e.batch(ctx, engine.UTK2, qs, func(i int, res *engine.Result) {
 		results[i] = utk2ResultFromCells(res.Cells, statsFromCore(&res.Stats))
 		results[i].CacheHit = res.CacheHit
+		results[i].Derived = res.Derived
 	})
 	return results, errs
 }

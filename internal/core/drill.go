@@ -7,6 +7,12 @@ import (
 	"repro/internal/bitset"
 )
 
+// cancelStride is how many drill-probe nodes are visited between
+// Options.Cancel polls: frequent enough that even a single deep probe stays
+// responsive, sparse enough that the poll cost vanishes against the scoring
+// work.
+const cancelStride = 64
+
 // drillVector computes the drill vector of Section 4.3 for candidate p in
 // the cell bounded by the given half-spaces: the weight vector inside the
 // cell that maximizes S(p), found by linear programming. It returns nil when
@@ -31,10 +37,24 @@ func (rf *refiner) drillVector(p int, cell []geom.Halfspace) []float64 {
 // limit. When Options.LinearDrill is unset it runs the graph-guided
 // branch-and-bound of Section 4.3: scores decrease along r-dominance edges,
 // so a node scoring at or below p prunes its entire subtree.
+//
+// Options.Cancel is polled every cancelStride nodes: on very deep single
+// cells the drill's top-k probe is the long pole of a recursion step, so a
+// deadline or a superseded epoch must be able to interrupt it from inside.
+// A tripped poll reports limit — "quota reached" — which makes the drill
+// fail cheaply; the latched verdict then unwinds the refinement through the
+// next stop() check with ErrCanceled, so the fabricated count is never
+// observable in an answer.
 func (rf *refiner) countAbove(p int, comp bitset.Set, w []float64, limit int) int {
+	steps := 0
 	if rf.opts.LinearDrill {
 		cnt := 0
 		comp.ForEach(func(q int) bool {
+			if steps%cancelStride == 0 && rf.stop() {
+				cnt = limit
+				return false
+			}
+			steps++
 			if rf.above(q, p, w) {
 				cnt++
 			}
@@ -63,6 +83,10 @@ func (rf *refiner) countAbove(p int, comp bitset.Set, w []float64, limit int) in
 		}
 	}
 	for len(stack) > 0 && cnt < limit {
+		if steps%cancelStride == 0 && rf.stop() {
+			return limit
+		}
+		steps++
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if geom.Score(rf.g.Records[q], w) < sp-geom.Eps {

@@ -1,13 +1,13 @@
 package engine
 
 import (
-	"container/list"
 	"encoding/binary"
 	"math"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/rescache"
 )
 
 // fingerprint canonicalizes a query into a cache key. Two queries share a key
@@ -45,6 +45,16 @@ func Fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 
 	key := make([]byte, 0, 16+len(rows)*(r.Dim()+1)*8)
 	key = append(key, byte(v), byte(k), byte(k>>8), byte(k>>16))
+	key = append(key, optionFlags(opts))
+	for _, row := range rows {
+		key = append(key, row...)
+	}
+	return string(key)
+}
+
+// optionFlags packs the answer-affecting ablation switches into the byte the
+// fingerprint (and the containment class) discriminates on.
+func optionFlags(opts core.Options) byte {
 	var flags byte
 	if opts.DisableDrill {
 		flags |= 1
@@ -52,11 +62,7 @@ func Fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 	if opts.LinearDrill {
 		flags |= 2
 	}
-	key = append(key, flags)
-	for _, row := range rows {
-		key = append(key, row...)
-	}
-	return string(key)
+	return flags
 }
 
 // canonicalHalfspace encodes A·w ≥ B scaled to ‖A‖₂ = 1 (the one positive
@@ -91,87 +97,12 @@ func appendFloat(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
-// lru is a non-concurrency-safe least-recently-used result cache; the Engine
-// serializes access under its mutex. Entries remember the query's region and
-// depth so updates can invalidate precisely — evicting only the entries a
-// changed record can actually reach — instead of flushing the cache.
-type lru struct {
-	cap int
-	ll  *list.List
-	m   map[string]*list.Element
+// containClass buckets cache entries for containment lookups: only entries
+// computed for the same variant under the same ablation switches can answer
+// for one another geometrically.
+func containClass(v Variant, opts core.Options) uint32 {
+	return uint32(v)<<8 | uint32(optionFlags(opts))
 }
-
-type lruEntry struct {
-	key    string
-	region *geom.Region
-	k      int
-	res    *Result
-}
-
-func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
-}
-
-func (c *lru) get(key string) (*Result, bool) {
-	el, ok := c.m[key]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
-}
-
-// add inserts (or refreshes) the entry and reports whether an older entry was
-// evicted to make room.
-func (c *lru) add(key string, region *geom.Region, k int, res *Result) bool {
-	if el, ok := c.m[key]; ok {
-		el.Value.(*lruEntry).res = res
-		c.ll.MoveToFront(el)
-		return false
-	}
-	c.m[key] = c.ll.PushFront(&lruEntry{key: key, region: region, k: k, res: res})
-	if c.ll.Len() <= c.cap {
-		return false
-	}
-	oldest := c.ll.Back()
-	c.ll.Remove(oldest)
-	delete(c.m, oldest.Value.(*lruEntry).key)
-	return true
-}
-
-// cacheEntryView is a snapshot row for the precise-invalidation scan, taken
-// under the engine mutex and probed outside it.
-type cacheEntryView struct {
-	key    string
-	region *geom.Region
-	k      int
-}
-
-// snapshot lists the resident entries' keys and query shapes.
-func (c *lru) snapshot() []cacheEntryView {
-	out := make([]cacheEntryView, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		ent := el.Value.(*lruEntry)
-		out = append(out, cacheEntryView{key: ent.key, region: ent.region, k: ent.k})
-	}
-	return out
-}
-
-// evictKeys removes the listed entries (if still resident), returning the
-// number actually evicted.
-func (c *lru) evictKeys(keys []string) int {
-	n := 0
-	for _, key := range keys {
-		if el, ok := c.m[key]; ok {
-			c.ll.Remove(el)
-			delete(c.m, key)
-			n++
-		}
-	}
-	return n
-}
-
-func (c *lru) len() int { return c.ll.Len() }
 
 // CacheEntry is one resident result-cache row as seen by an invalidation
 // scan: the key to evict by plus the query shape to probe with.
@@ -181,42 +112,76 @@ type CacheEntry struct {
 	K      int
 }
 
-// ResultCache is the engine's LRU result cache exported for sibling serving
-// layers (the cross-shard merge engine) that cache Results under the same
-// Fingerprint keys and run the same probe-then-evict invalidation protocol.
-// It is not safe for concurrent use; callers serialize access under their own
-// mutex, exactly as Engine does with its internal instance.
+// ResultCache is the typed adapter every serving layer puts between itself
+// and the shared rescache subsystem: the Engine uses one internally, and the
+// cross-shard merge layer instantiates its own so both tiers get the same
+// cost-aware eviction, containment-based reuse, canonical Fingerprint keys,
+// and probe-then-evict invalidation protocol. It is not safe for concurrent
+// use; callers serialize access under their own mutex, exactly as Engine
+// does with its internal instance.
 type ResultCache struct {
-	l *lru
+	c *rescache.Cache
 }
 
 // NewResultCache builds a cache bounded to capacity entries (capacity ≥ 1).
 func NewResultCache(capacity int) *ResultCache {
-	return &ResultCache{l: newLRU(capacity)}
+	return &ResultCache{c: rescache.New(capacity)}
 }
 
 // Get returns the cached result for the key, refreshing its recency.
-func (c *ResultCache) Get(key string) (*Result, bool) { return c.l.get(key) }
+func (c *ResultCache) Get(key string) (*Result, bool) {
+	v, ok := c.c.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Result), true
+}
 
-// Add inserts (or refreshes) an entry, reporting whether an older entry was
-// evicted to make room.
-func (c *ResultCache) Add(key string, region *geom.Region, k int, res *Result) bool {
-	return c.l.add(key, region, k, res)
+// Peek returns the cached result without refreshing recency; callers use
+// pointer identity against an earlier Get/FindContaining to confirm an
+// entry survived the interval (capacity eviction, invalidation, and
+// replacement all break identity).
+func (c *ResultCache) Peek(key string) (*Result, bool) {
+	v, ok := c.c.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Result), true
+}
+
+// Add inserts (or refreshes) the result computed for req under the key,
+// recording the result's recompute cost for the eviction policy. It reports
+// whether an older entry was evicted to make room, and whether that choice
+// was cost-driven (a different victim than plain LRU would have picked).
+func (c *ResultCache) Add(key string, req Request, res *Result) (evicted, costDriven bool) {
+	return c.c.Add(key, req.Region, req.K, containClass(req.Variant, req.Opts), float64(res.Cost), res)
+}
+
+// FindContaining looks for a cached UTK2 result whose query region contains
+// req's region, at req's depth and under req's ablation switches — the
+// containment source a miss for req (either variant) can be derived from by
+// cell clipping. It returns the source result and its cache key.
+func (c *ResultCache) FindContaining(req Request) (*Result, string, bool) {
+	v, key, ok := c.c.FindContaining(containClass(UTK2, req.Opts), req.K, req.Region)
+	if !ok {
+		return nil, "", false
+	}
+	return v.(*Result), key, true
 }
 
 // Snapshot lists the resident entries for an invalidation scan.
 func (c *ResultCache) Snapshot() []CacheEntry {
-	views := c.l.snapshot()
-	out := make([]CacheEntry, len(views))
-	for i, v := range views {
-		out[i] = CacheEntry{Key: v.key, Region: v.region, K: v.k}
+	rows := c.c.Snapshot()
+	out := make([]CacheEntry, len(rows))
+	for i, r := range rows {
+		out[i] = CacheEntry{Key: r.Key, Region: r.Region, K: r.K}
 	}
 	return out
 }
 
 // EvictKeys removes the listed entries (if still resident), returning the
 // number actually evicted.
-func (c *ResultCache) EvictKeys(keys []string) int { return c.l.evictKeys(keys) }
+func (c *ResultCache) EvictKeys(keys []string) int { return c.c.EvictKeys(keys) }
 
 // Len is the current cache population.
-func (c *ResultCache) Len() int { return c.l.len() }
+func (c *ResultCache) Len() int { return c.c.Len() }

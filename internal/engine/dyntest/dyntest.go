@@ -182,7 +182,7 @@ func Run(t *testing.T, cfg Config) {
 	}
 
 	st := dyn.Stats()
-	if st.Queries != st.Hits+st.Misses+st.Shared {
+	if st.Queries != st.Hits+st.Misses+st.Shared+st.DerivedHits {
 		t.Errorf("stats do not reconcile: %+v", st)
 	}
 	if st.Live != len(mirror) {

@@ -24,9 +24,15 @@
 //     that is r-dominated by at least k others throughout a cached region
 //     cannot appear in (or vanish from) any top-k set there, so that entry
 //     survives — rather than flushing the whole cache per update.
-//  3. An LRU result cache keyed on a canonicalized (variant, k, region,
+//  3. A result cache (the shared rescache subsystem, also used by the
+//     cross-shard merge layer) keyed on a canonicalized (variant, k, region,
 //     ablation flags) fingerprint, with single-flight deduplication so
 //     concurrent identical queries compute once and share the result.
+//     Eviction is cost-aware — entries carry their measured recompute cost,
+//     so cheap UTK1 id-lists churn before expensive UTK2 partitionings —
+//     and an exact miss whose region lies inside a cached UTK2 region is
+//     answered by cell clipping (see DeriveClipped) instead of recomputing:
+//     exact, with zero refinement work.
 //  4. A bounded worker pool with per-query deadlines; the deadline (and a
 //     superseded-epoch check) is threaded into the refinement recursion via
 //     core.Options.Cancel, so an expired or stale query frees its worker
@@ -82,7 +88,7 @@ type Config struct {
 	// MaxK. Deeper shadows survive more skyline-area deletions between
 	// recompute fallbacks at the cost of a larger resident member set.
 	ShadowDepth int
-	// CacheEntries bounds the LRU result cache; 0 disables caching.
+	// CacheEntries bounds the result cache; 0 disables caching.
 	CacheEntries int
 	// Workers bounds the number of concurrently executing queries; values
 	// below 1 default to runtime.GOMAXPROCS(0).
@@ -121,8 +127,17 @@ type Result struct {
 	// report the epoch of the original computation; the entry's survival
 	// guarantees the answer is still exact for the current dataset.
 	Epoch uint64
+	// Cost is the measured recompute cost of the answer (filter plus
+	// refinement time for fresh computations; inherited from the source for
+	// clip-derived answers). The result cache's eviction policy weighs
+	// entries by it.
+	Cost time.Duration
 	// CacheHit reports whether this answer was served from the result cache.
 	CacheHit bool
+	// Derived reports whether this answer was derived from a cached
+	// containing-region UTK2 result by cell clipping rather than computed by
+	// RSA/JAA (or copied from an entry that was).
+	Derived bool
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -130,15 +145,21 @@ type Stats struct {
 	// Queries counts completed queries, however they were served.
 	Queries uint64
 	// Hits and Misses split cache lookups; Shared counts queries that
-	// coalesced onto another caller's in-flight computation.
-	Hits   uint64
-	Misses uint64
-	Shared uint64
-	// Evictions counts LRU capacity evictions; Invalidations counts cache
-	// entries evicted because an update could affect them. Rejected counts
-	// queries that gave up (deadline or cancellation) before obtaining a
-	// result.
+	// coalesced onto another caller's in-flight computation. DerivedHits
+	// counts misses answered by clipping a cached containing-region UTK2
+	// result instead of recomputing (Queries = Hits + Misses + Shared +
+	// DerivedHits).
+	Hits        uint64
+	Misses      uint64
+	Shared      uint64
+	DerivedHits uint64
+	// Evictions counts capacity evictions; CostEvictions counts the subset
+	// where the cost-aware policy picked a different victim than plain LRU
+	// would have. Invalidations counts cache entries evicted because an
+	// update could affect them. Rejected counts queries that gave up
+	// (deadline or cancellation) before obtaining a result.
 	Evictions     uint64
+	CostEvictions uint64
 	Invalidations uint64
 	Rejected      uint64
 	// InFlight is the number of computations executing right now.
@@ -261,7 +282,7 @@ type Engine struct {
 	idx atomic.Pointer[index]
 
 	mu            sync.Mutex
-	cache         *lru
+	cache         *ResultCache
 	dynStats      skyband.DynamicStats // refreshed at the end of each batch
 	updating      bool                 // an ApplyBatch is probing the cache; finish skips caching
 	inflight      map[string]*flight
@@ -269,7 +290,9 @@ type Engine struct {
 	hits          uint64
 	misses        uint64
 	shared        uint64
+	derived       uint64
 	evicted       uint64
+	costEvicted   uint64
 	invalidations uint64
 	rejected      uint64
 	batches       uint64
@@ -300,7 +323,7 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 		inflight: make(map[string]*flight),
 	}
 	if cfg.CacheEntries > 0 {
-		e.cache = newLRU(cfg.CacheEntries)
+		e.cache = NewResultCache(cfg.CacheEntries)
 	}
 	// The k-skyband at MaxK is the one region-independent superset of every
 	// r-skyband the engine can be asked for; the dynamic structure maintains
@@ -587,18 +610,18 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 	//      epoch: no query can observe the new epoch while a stale entry is
 	//      still hittable, and entries cached after publication pass
 	//      finish's current-epoch check, i.e. reflect this batch.
-	var entries []cacheEntryView
+	var entries []CacheEntry
 	if e.cache != nil && len(tests) > 0 {
 		e.mu.Lock()
-		entries = e.cache.snapshot()
+		entries = e.cache.Snapshot()
 		e.updating = true
 		e.mu.Unlock()
 	}
 	var affected []string
 	for _, ent := range entries {
 		for i := range tests {
-			if tests[i].affects(ent.region, ent.k) {
-				affected = append(affected, ent.key)
+			if tests[i].affects(ent.Region, ent.K) {
+				affected = append(affected, ent.Key)
 				break
 			}
 		}
@@ -614,7 +637,7 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 	e.batches++
 	e.dynStats = dynStats
 	if len(affected) > 0 {
-		e.invalidations += uint64(e.cache.evictKeys(affected))
+		e.invalidations += uint64(e.cache.EvictKeys(affected))
 	}
 	if fresh != nil {
 		e.idx.Store(fresh)
@@ -653,6 +676,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 	// guards the no-deadline case against update storms: once exhausted,
 	// the refinement runs to completion on whatever snapshot it has.
 	supersedeRetries := 3
+	derivedTried := false
 	for {
 		// Election: answer from the cache, join an identical in-flight
 		// computation, or become the leader for the current epoch. Flights
@@ -673,13 +697,54 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 			flKey = flightKey(ix.epoch, key)
 			e.mu.Lock()
 			if e.cache != nil {
-				if res, ok := e.cache.get(key); ok {
+				if res, ok := e.cache.Get(key); ok {
 					e.hits++
 					e.queries++
 					e.mu.Unlock()
 					hit := *res
 					hit.CacheHit = true
 					return &hit, nil
+				}
+				// Derived-answer fast path, before pool dispatch: an exact
+				// miss whose region sits inside a cached UTK2 region is
+				// answered by cell clipping — no worker slot, no flight, no
+				// RSA/JAA work. The source was resident under the mutex, so
+				// the answer is at worst a consistent pre-update state (the
+				// same guarantee exact hits and flight waiters get); caching
+				// it is gated below on the source surviving the clipping
+				// window untouched.
+				if !derivedTried {
+					if src, srcKey, ok := e.cache.FindContaining(req); ok {
+						e.mu.Unlock()
+						derivedTried = true
+						if res := DeriveClipped(req, src); res != nil {
+							e.mu.Lock()
+							e.derived++
+							e.queries++
+							// Cache the derived entry only if no invalidation
+							// probe window is open and the source is still the
+							// resident entry (pointer identity): a surviving
+							// source's probe certificate covers every region
+							// it contains, so the derived answer is exact for
+							// the current dataset.
+							if !e.updating {
+								if cur, ok := e.cache.Peek(srcKey); ok && cur == src {
+									ev, costly := e.cache.Add(key, req, res)
+									if ev {
+										e.evicted++
+									}
+									if costly {
+										e.costEvicted++
+									}
+								}
+							}
+							e.mu.Unlock()
+							hit := *res
+							hit.CacheHit = true
+							return &hit, nil
+						}
+						continue // defensive: derivation failed, compute instead
+					}
 				}
 			}
 			if other, ok := e.inflight[flKey]; ok {
@@ -781,7 +846,9 @@ func (e *Engine) Stats() Stats {
 		Hits:            e.hits,
 		Misses:          e.misses,
 		Shared:          e.shared,
+		DerivedHits:     e.derived,
 		Evictions:       e.evicted,
+		CostEvictions:   e.costEvicted,
 		Invalidations:   e.invalidations,
 		Rejected:        e.rejected,
 		InFlight:        e.active,
@@ -801,7 +868,7 @@ func (e *Engine) Stats() Stats {
 		Workers:         e.cfg.Workers,
 	}
 	if e.cache != nil {
-		st.CacheEntries = e.cache.len()
+		st.CacheEntries = e.cache.Len()
 	}
 	return st
 }
@@ -863,6 +930,9 @@ func (e *Engine) compute(ctx context.Context, req Request, ix *index, abortOnSup
 		return nil, errors.New("engine: unknown variant")
 	}
 	res.Stats = *st
+	// The measured end-to-end compute time is the entry's recompute cost:
+	// what the cache would lose by evicting it.
+	res.Cost = st.FilterDuration + st.RefineDuration
 	return res, nil
 }
 
@@ -877,8 +947,12 @@ func (e *Engine) finish(flKey, key string, fl *flight, res *Result, err error, r
 	e.mu.Lock()
 	delete(e.inflight, flKey)
 	if err == nil && e.cache != nil && !e.updating && res.Epoch == e.idx.Load().epoch {
-		if e.cache.add(key, req.Region, req.K, res) {
+		ev, costly := e.cache.Add(key, req, res)
+		if ev {
 			e.evicted++
+		}
+		if costly {
+			e.costEvicted++
 		}
 	}
 	e.mu.Unlock()

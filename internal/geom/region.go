@@ -133,6 +133,12 @@ func (r *Region) Bounds() (lo, hi []float64) {
 	return append([]float64(nil), r.lo...), append([]float64(nil), r.hi...)
 }
 
+// HasHRep reports whether the region carries an H-representation (bounding
+// half-spaces). Regions built from vertices alone do not; geometric
+// operations that clip or intersect by half-space (cell clipping) must
+// refuse them rather than silently clip against nothing.
+func (r *Region) HasHRep() bool { return len(r.halfspaces) > 0 }
+
 // Halfspaces returns the bounding half-spaces (a copy).
 func (r *Region) Halfspaces() []Halfspace {
 	out := make([]Halfspace, len(r.halfspaces))
@@ -181,6 +187,208 @@ func (r *Region) Contains(w []float64) bool {
 	// function is not exact; regions built from vertices alone are only used
 	// where Classify suffices.
 	panic("geom: Contains on vertex-only region without H-representation")
+}
+
+// ContainsRegion reports whether other ⊆ r. The test is exact for convex
+// regions (up to the global Eps tolerance): other is contained iff it lies
+// inside every bounding half-space of r, and Classify decides each of those
+// by the vertex extremes of the linear functional. A region without an
+// H-representation (built from vertices only) cannot certify containment of
+// anything and reports false.
+func (r *Region) ContainsRegion(other *Region) bool {
+	if other == nil || r.dim != other.dim {
+		return false
+	}
+	if r.isBox && other.isBox {
+		for i := range r.lo {
+			if other.lo[i] < r.lo[i]-Eps || other.hi[i] > r.hi[i]+Eps {
+				return false
+			}
+		}
+		return true
+	}
+	if len(r.halfspaces) == 0 {
+		return false
+	}
+	for _, h := range r.halfspaces {
+		if other.Classify(h) != Inside {
+			return false
+		}
+	}
+	return true
+}
+
+// ClipConstraints returns a half-space set bounding cons ∩ r: the input
+// constraints followed by r's bounding half-spaces, with exact duplicates
+// dropped (clipping a cell to the region it was carved from must not grow
+// the constraint list). The input slices are not modified; the result is a
+// fresh slice sharing the individual half-spaces.
+func (r *Region) ClipConstraints(cons []Halfspace) []Halfspace {
+	out := make([]Halfspace, 0, len(cons)+len(r.halfspaces))
+	out = append(out, cons...)
+	for _, h := range r.halfspaces {
+		dup := false
+		for _, have := range cons {
+			if sameHalfspace(have, h) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// sameHalfspace reports bit-exact equality of two half-spaces.
+func sameHalfspace(a, b Halfspace) bool {
+	if len(a.A) != len(b.A) || a.B != b.B {
+		return false
+	}
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InteriorBy reports whether w lies at least margin inside the region:
+// every bounding half-space is satisfied with slack ≥ margin·‖A‖ (the same
+// normalized-slack measure the LP interior-point test uses), so a ball of
+// radius margin around w stays inside. Regions without an H-representation
+// report false.
+func (r *Region) InteriorBy(w []float64, margin float64) bool {
+	if r.isBox {
+		for i := range w {
+			if w[i] < r.lo[i]+margin || w[i] > r.hi[i]-margin {
+				return false
+			}
+		}
+		return true
+	}
+	if len(r.halfspaces) == 0 {
+		return false
+	}
+	for _, h := range r.halfspaces {
+		norm := 0.0
+		for _, a := range h.A {
+			norm += a * a
+		}
+		norm = math.Sqrt(norm)
+		if norm <= Eps {
+			if h.B > Eps {
+				return false
+			}
+			continue
+		}
+		if h.Eval(w) < margin*norm {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstraintBounds computes a sound outer bounding box of the polytope
+// ∩{A_i·w ≥ B_i} by interval constraint propagation: each constraint, given
+// current bounds on the other coordinates, implies a one-sided bound on each
+// coordinate it mentions, and a few passes let bounds sharpen each other.
+// The result always CONTAINS the polytope (it is generally not tight), which
+// is exactly what sound containment/disjointness pre-tests need. ok is false
+// when some coordinate stays unbounded — callers then skip the box-based
+// fast paths. Cost is O(passes·m·dim), no LP.
+func ConstraintBounds(dim int, cons []Halfspace, passes int) (lo, hi []float64, ok bool) {
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	for i := range lo {
+		lo[i] = math.Inf(-1)
+		hi[i] = math.Inf(1)
+	}
+	for p := 0; p < passes; p++ {
+		improved := false
+		for _, h := range cons {
+			for i, ai := range h.A {
+				if ai > Eps {
+					// a_i·w_i ≥ B − Σ_{j≠i} max(a_j·w_j)
+					rest, bounded := maxRest(h.A, lo, hi, i)
+					if !bounded {
+						continue
+					}
+					if b := (h.B - rest) / ai; b > lo[i]+Eps {
+						lo[i] = b
+						improved = true
+					}
+				} else if ai < -Eps {
+					rest, bounded := maxRest(h.A, lo, hi, i)
+					if !bounded {
+						continue
+					}
+					if b := (h.B - rest) / ai; b < hi[i]-Eps {
+						hi[i] = b
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			break // fixed point: further passes cannot tighten anything
+		}
+	}
+	for i := range lo {
+		if math.IsInf(lo[i], 0) || math.IsInf(hi[i], 0) {
+			return nil, nil, false
+		}
+	}
+	return lo, hi, true
+}
+
+// maxRest returns the maximum of Σ_{j≠skip} a_j·w_j over the current bounds,
+// reporting bounded=false when a participating coordinate is unbounded in
+// the needed direction.
+func maxRest(a, lo, hi []float64, skip int) (float64, bool) {
+	s := 0.0
+	for j, aj := range a {
+		if j == skip || aj == 0 {
+			continue
+		}
+		if aj > 0 {
+			if math.IsInf(hi[j], 1) {
+				return 0, false
+			}
+			s += aj * hi[j]
+		} else {
+			if math.IsInf(lo[j], -1) {
+				return 0, false
+			}
+			s += aj * lo[j]
+		}
+	}
+	return s, true
+}
+
+// ClassifyBox positions the axis-parallel box [lo, hi] relative to the
+// region: Inside when the box (and so anything it contains) lies in the
+// region, Outside when the box misses the region's interior entirely, and
+// Straddle otherwise. Exact up to the global Eps tolerance, O(m·dim).
+func (r *Region) ClassifyBox(lo, hi []float64) Side {
+	if len(r.halfspaces) == 0 {
+		return Straddle
+	}
+	inside := true
+	for _, h := range r.halfspaces {
+		mn, mx := boxExtremes(h, lo, hi)
+		if mx <= Eps {
+			return Outside // the box never enters this half-space's interior
+		}
+		if mn < -Eps {
+			inside = false
+		}
+	}
+	if inside {
+		return Inside
+	}
+	return Straddle
 }
 
 // Classify positions the region relative to the closed half-space h. The
@@ -310,6 +518,13 @@ func sideFromExtremes(lo, hi float64) Side {
 		return Outside
 	}
 	return Straddle
+}
+
+// BoxExtremes returns the minimum and maximum of h.Eval over the box
+// [lo, hi] — the exported form of the corner-sign rule for callers (cell
+// clipping) that classify half-spaces against constraint-propagated bounds.
+func BoxExtremes(h Halfspace, lo, hi []float64) (mn, mx float64) {
+	return boxExtremes(h, lo, hi)
 }
 
 // boxExtremes returns the minimum and maximum of h.Eval over the box

@@ -203,7 +203,9 @@ type AggregateStats struct {
 	Hits          uint64
 	Misses        uint64
 	Shared        uint64
+	DerivedHits   uint64
 	Evictions     uint64
+	CostEvictions uint64
 	Invalidations uint64
 	Rejected      uint64
 	InFlight      int
@@ -234,7 +236,9 @@ func (r *Registry) Stats() AggregateStats {
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses
 		agg.Shared += st.Shared
+		agg.DerivedHits += st.DerivedHits
 		agg.Evictions += st.Evictions
+		agg.CostEvictions += st.CostEvictions
 		agg.Invalidations += st.Invalidations
 		agg.Rejected += st.Rejected
 		agg.InFlight += st.InFlight

@@ -1,0 +1,361 @@
+// Package rescache is the result-cache subsystem shared by every serving
+// layer (the single-partition engine and the cross-shard merge layer). It
+// replaces the plain LRU the layers used to duplicate with one policy engine
+// that is smarter on two axes:
+//
+//  1. Cost-aware eviction. Entries are not equal: a UTK2 partitioning takes
+//     milliseconds of refinement to recompute while a UTK1 id-list is often
+//     microseconds. Each entry records its measured recompute cost, and on
+//     overflow the cache evicts the entry whose retained value — recompute
+//     cost scaled down by staleness — is smallest. Cheap, stale entries
+//     churn; expensive partitionings stay resident even when they are not
+//     the most recent, which plain LRU cannot express. With equal costs the
+//     policy degenerates to exactly LRU.
+//  2. A containment index. Entries are grouped by a caller-defined class
+//     (variant + algorithm flags) and top-k depth, so a cache miss can ask
+//     for a cached entry whose query region contains the missed query's
+//     region. The caller then derives the answer geometrically (cell
+//     clipping, see ClipCell) instead of recomputing it.
+//
+// The cache is NOT safe for concurrent use; callers serialize access under
+// their own mutex, exactly as the serving engines do. Staleness is measured
+// with a logical clock (one tick per cache operation) so the policy is
+// deterministic under test and free of wall-clock syscalls on the hit path.
+package rescache
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/lp"
+)
+
+// Cache is a bounded result cache with cost-aware eviction and a containment
+// index over the cached query regions.
+type Cache struct {
+	cap    int
+	tick   uint64
+	m      map[string]*entry
+	groups map[groupKey][]*entry
+}
+
+// groupKey buckets entries for containment lookups: only entries of the same
+// class (variant + flags) at the same top-k depth can answer for each other.
+type groupKey struct {
+	class uint32
+	k     int
+}
+
+type entry struct {
+	key    string
+	region *geom.Region
+	k      int
+	class  uint32
+	cost   float64
+	last   uint64 // logical time of last use
+	val    any
+}
+
+// Entry is one resident row as seen by an invalidation scan: the key to
+// evict by plus the query shape to probe with.
+type Entry struct {
+	Key    string
+	Region *geom.Region
+	K      int
+}
+
+// New builds a cache bounded to capacity entries (capacity ≥ 1).
+func New(capacity int) *Cache {
+	return &Cache{
+		cap:    capacity,
+		m:      make(map[string]*entry, capacity),
+		groups: make(map[groupKey][]*entry),
+	}
+}
+
+// now advances the logical clock.
+func (c *Cache) now() uint64 {
+	c.tick++
+	return c.tick
+}
+
+// Get returns the value cached under the key, refreshing its recency.
+func (c *Cache) Get(key string) (any, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	e.last = c.now()
+	return e.val, true
+}
+
+// Peek returns the value cached under the key without touching its recency.
+// Callers use it to re-verify that a value observed earlier is still the
+// resident one (pointer identity) before acting on derived state.
+func (c *Cache) Peek(key string) (any, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// score is the eviction key: what evicting the entry loses, per tick of
+// staleness. Low cost and long idleness both push an entry toward eviction;
+// with equal costs the minimum score is exactly the least-recently-used
+// entry, so the policy is a strict generalization of LRU.
+func (c *Cache) score(e *entry) float64 {
+	return e.cost / float64(c.tick-e.last+1)
+}
+
+// Add inserts (or refreshes) an entry. cost is the measured recompute cost
+// of the value (any positive unit; values below 1 are clamped so staleness
+// always discriminates). It reports whether an older entry was evicted to
+// make room, and whether that eviction was cost-driven — i.e. the victim was
+// not the entry plain LRU would have chosen.
+func (c *Cache) Add(key string, region *geom.Region, k int, class uint32, cost float64, val any) (evicted, costDriven bool) {
+	if cost < 1 {
+		cost = 1
+	}
+	if e, ok := c.m[key]; ok {
+		e.val, e.cost = val, cost
+		e.last = c.now()
+		return false, false
+	}
+	e := &entry{key: key, region: region, k: k, class: class, cost: cost, val: val, last: c.now()}
+	c.m[key] = e
+	gk := groupKey{class: class, k: k}
+	c.groups[gk] = append(c.groups[gk], e)
+	if len(c.m) <= c.cap {
+		return false, false
+	}
+	// Overflow: evict the minimum-score resident. The just-added entry is
+	// exempt (it is the reason for the eviction, and with age zero its raw
+	// cost would make the comparison meaningless); everything else competes.
+	// Ties break toward the staler entry, then the smaller key, so the
+	// choice is deterministic under the logical clock.
+	var victim, lru *entry
+	for _, cand := range c.m {
+		if cand == e {
+			continue
+		}
+		if lru == nil || cand.last < lru.last {
+			lru = cand
+		}
+		if victim == nil {
+			victim = cand
+			continue
+		}
+		cs, vs := c.score(cand), c.score(victim)
+		if cs < vs || (cs == vs && (cand.last < victim.last || (cand.last == victim.last && cand.key < victim.key))) {
+			victim = cand
+		}
+	}
+	c.remove(victim)
+	return true, victim != lru
+}
+
+// FindContaining returns a cached value of the given class and depth whose
+// query region contains r, preferring the most recently used source, or ok =
+// false when no resident region contains r. A successful lookup counts as a
+// use of the source entry (its recency is refreshed) and returns the source's
+// key so the caller can later re-verify residency with Peek.
+func (c *Cache) FindContaining(class uint32, k int, r *geom.Region) (val any, key string, ok bool) {
+	var best *entry
+	for _, e := range c.groups[groupKey{class: class, k: k}] {
+		if (best == nil || e.last > best.last) && e.region.ContainsRegion(r) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, "", false
+	}
+	best.last = c.now()
+	return best.val, best.key, true
+}
+
+// Snapshot lists the resident entries' keys and query shapes for an
+// invalidation scan.
+func (c *Cache) Snapshot() []Entry {
+	out := make([]Entry, 0, len(c.m))
+	for _, e := range c.m {
+		out = append(out, Entry{Key: e.key, Region: e.region, K: e.k})
+	}
+	return out
+}
+
+// EvictKeys removes the listed entries (if still resident), returning the
+// number actually evicted.
+func (c *Cache) EvictKeys(keys []string) int {
+	n := 0
+	for _, key := range keys {
+		if e, ok := c.m[key]; ok {
+			c.remove(e)
+			n++
+		}
+	}
+	return n
+}
+
+// Len is the current cache population.
+func (c *Cache) Len() int { return len(c.m) }
+
+// remove deletes the entry from the key map and its containment group.
+func (c *Cache) remove(e *entry) {
+	delete(c.m, e.key)
+	gk := groupKey{class: e.class, k: e.k}
+	g := c.groups[gk]
+	for i, cand := range g {
+		if cand == e {
+			g[i] = g[len(g)-1]
+			g[len(g)-1] = nil
+			g = g[:len(g)-1]
+			break
+		}
+	}
+	if len(g) == 0 {
+		delete(c.groups, gk)
+	} else {
+		c.groups[gk] = g
+	}
+}
+
+// ClipCell clips one convex cell — given by its bounding half-spaces and a
+// strictly interior point — to the query region r, returning the clipped
+// cell's bounding half-spaces and a strictly interior point of the
+// intersection. ok is false when the intersection is empty or not
+// full-dimensional (the same SlackEps discipline the arrangement uses for
+// its own cells), in which case the cell contributes nothing to the clipped
+// answer.
+//
+// This is the geometric core of containment-based reuse: the top-k order is
+// constant within a UTK2 cell, so for R ⊆ R' the non-empty intersections
+// {C ∩ R : C ∈ UTK2(R')} partition R with unchanged top-k sets — an exact
+// answer for R without touching RSA or JAA. The fast path reuses the cell's
+// own interior point whenever it already lies strictly inside r (a ball
+// around it then lies in both bodies, so the intersection is
+// full-dimensional and the point remains interior); only cells straddling
+// r's boundary pay for an LP.
+func ClipCell(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region) ([]geom.Halfspace, []float64, bool) {
+	pt, ok := clipInterior(dim, cons, interior, r)
+	if !ok {
+		return nil, nil, false
+	}
+	return r.ClipConstraints(cons), pt, true
+}
+
+// CellIntersects reports whether the cell has a full-dimensional
+// intersection with r, without materializing the clipped constraint set —
+// the allocation-light form UTK1 derivation uses, where only the surviving
+// cells' id sets matter.
+func CellIntersects(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region) bool {
+	_, ok := clipInterior(dim, cons, interior, r)
+	return ok
+}
+
+// clipInterior decides whether cell ∩ r is full-dimensional and returns a
+// strictly interior point of the intersection.
+func clipInterior(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region) ([]float64, bool) {
+	if !r.HasHRep() {
+		// A vertex-only region has no half-spaces to clip against; treating
+		// the cell as surviving unclipped would be a wrong (superset)
+		// answer, so refuse every cell — callers fall back to computing.
+		return nil, false
+	}
+	// Cheapest test first: in a near-miss workload most cells' own interior
+	// points already lie strictly inside r, which certifies a
+	// full-dimensional intersection with the point still valid —
+	// allocation-free, no LP.
+	if r.InteriorBy(interior, lp.SlackEps) {
+		return interior, true
+	}
+	// Next, a sound outer bounding box of the cell (interval propagation
+	// over its constraints, no LP) classifies most remaining cells outright:
+	// fully outside r drops the cell, fully inside keeps it as-is. Only
+	// cells whose bound straddles r's boundary go on to the clamp fast path
+	// and, last, the LP.
+	blo, bhi, bounded := geom.ConstraintBounds(dim, cons, 24)
+	if bounded {
+		switch r.ClassifyBox(blo, bhi) {
+		case geom.Outside:
+			return nil, false
+		case geom.Inside:
+			return interior, true
+		}
+	}
+	// Second fast path, for box regions (the common case): clamp the cell's
+	// interior point into r by a small margin and check it still satisfies
+	// every cell constraint with slack. When it does, the clamped point is
+	// strictly inside both bodies — the intersection is full-dimensional and
+	// the point is a valid interior — without running an LP. Only sliver
+	// cells near r's boundary (and genuinely disjoint ones) fall through.
+	if lo, hi := r.Bounds(); lo != nil {
+		pt := make([]float64, dim)
+		feasibleClamp := true
+		for i := 0; i < dim; i++ {
+			margin := lp.SlackEps
+			if side := hi[i] - lo[i]; side < 3*margin {
+				feasibleClamp = false
+				break
+			}
+			pt[i] = min(max(interior[i], lo[i]+margin), hi[i]-margin)
+		}
+		if feasibleClamp && insideAllBy(cons, pt, lp.SlackEps) {
+			return pt, true
+		}
+	}
+	// Last resort: the LP. With the bounding box added as explicit rows, any
+	// constraint strictly satisfied over the whole box is implied by it and
+	// can be dropped — the feasible set is unchanged (it equals the clipped
+	// cell exactly), the tableau is smaller. Deep recursion paths carry many
+	// such never-active constraints.
+	var lpCons []geom.Halfspace
+	if bounded {
+		lpCons = make([]geom.Halfspace, 0, len(cons)+2*dim)
+		for _, h := range cons {
+			if mn, _ := geom.BoxExtremes(h, blo, bhi); mn <= geom.Eps {
+				lpCons = append(lpCons, h)
+			}
+		}
+		for _, h := range r.Halfspaces() {
+			if mn, _ := geom.BoxExtremes(h, blo, bhi); mn <= geom.Eps {
+				lpCons = append(lpCons, h)
+			}
+		}
+		for i := 0; i < dim; i++ {
+			aLo := make([]float64, dim)
+			aLo[i] = 1
+			aHi := make([]float64, dim)
+			aHi[i] = -1
+			lpCons = append(lpCons, geom.Halfspace{A: aLo, B: blo[i]}, geom.Halfspace{A: aHi, B: -bhi[i]})
+		}
+	} else {
+		lpCons = r.ClipConstraints(cons)
+	}
+	pt, _, ok := lp.InteriorPoint(dim, lpCons)
+	if !ok {
+		return nil, false
+	}
+	return pt, true
+}
+
+// insideAllBy reports whether pt satisfies every half-space with normalized
+// slack at least margin.
+func insideAllBy(cons []geom.Halfspace, pt []float64, margin float64) bool {
+	for _, h := range cons {
+		norm := 0.0
+		for _, a := range h.A {
+			norm += a * a
+		}
+		if norm <= geom.Eps*geom.Eps {
+			if h.B > geom.Eps {
+				return false
+			}
+			continue
+		}
+		if h.Eval(pt) < margin*math.Sqrt(norm) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package rescache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func boxRegion(t testing.TB, lo, hi []float64) *geom.Region {
+	t.Helper()
+	r, err := geom.NewBox(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGetAddRefresh(t *testing.T) {
+	c := New(4)
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if ev, _ := c.Add("a", r, 3, 1, 10, "va"); ev {
+		t.Fatal("eviction below capacity")
+	}
+	if v, ok := c.Get("a"); !ok || v != "va" {
+		t.Fatalf("get = %v, %v", v, ok)
+	}
+	// Refreshing a key replaces the value without growing the population.
+	c.Add("a", r, 3, 1, 20, "vb")
+	if v, _ := c.Get("a"); v != "vb" {
+		t.Fatalf("refresh kept stale value %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+// TestCostAwareEviction pins the policy's headline behavior: an expensive
+// entry survives overflow even when it is the least recently used, and the
+// cheap stale entry goes instead — with the cost-driven choice reported.
+func TestCostAwareEviction(t *testing.T) {
+	c := New(2)
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	c.Add("expensive-old", r, 3, 1, 1e6, "utk2")
+	c.Add("cheap-new", r, 4, 1, 10, "utk1")
+	ev, costDriven := c.Add("overflow", r, 5, 1, 10, "utk1")
+	if !ev {
+		t.Fatal("no eviction on overflow")
+	}
+	if !costDriven {
+		t.Fatal("eviction not reported as cost-driven although LRU would have evicted the expensive entry")
+	}
+	if _, ok := c.Get("expensive-old"); !ok {
+		t.Fatal("expensive entry was evicted")
+	}
+	if _, ok := c.Get("cheap-new"); ok {
+		t.Fatal("cheap entry survived over the expensive one")
+	}
+}
+
+// TestEqualCostsDegenerateToLRU: with uniform costs the policy must behave
+// exactly like LRU, including recency refresh on Get.
+func TestEqualCostsDegenerateToLRU(t *testing.T) {
+	c := New(2)
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	c.Add("a", r, 3, 1, 50, "va")
+	c.Add("b", r, 4, 1, 50, "vb")
+	c.Get("a") // a is now more recent than b
+	ev, costDriven := c.Add("c", r, 5, 1, 50, "vc")
+	if !ev || costDriven {
+		t.Fatalf("evicted=%v costDriven=%v, want plain LRU eviction", ev, costDriven)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+}
+
+func TestFindContaining(t *testing.T) {
+	c := New(8)
+	outer := boxRegion(t, []float64{0.1, 0.1}, []float64{0.5, 0.5})
+	inner := boxRegion(t, []float64{0.2, 0.2}, []float64{0.3, 0.3})
+	disjoint := boxRegion(t, []float64{0.55, 0.05}, []float64{0.65, 0.15})
+	overlapping := boxRegion(t, []float64{0.4, 0.4}, []float64{0.6, 0.6})
+
+	c.Add("outer", outer, 3, 7, 100, "src")
+	if v, key, ok := c.FindContaining(7, 3, inner); !ok || v != "src" || key != "outer" {
+		t.Fatalf("nested lookup = %v, %q, %v", v, key, ok)
+	}
+	if _, _, ok := c.FindContaining(7, 3, disjoint); ok {
+		t.Fatal("disjoint region matched")
+	}
+	if _, _, ok := c.FindContaining(7, 3, overlapping); ok {
+		t.Fatal("partially overlapping region matched")
+	}
+	if _, _, ok := c.FindContaining(7, 4, inner); ok {
+		t.Fatal("depth mismatch matched")
+	}
+	if _, _, ok := c.FindContaining(8, 3, inner); ok {
+		t.Fatal("class mismatch matched")
+	}
+	// A region contains itself: same-shape lookups resolve too.
+	if _, _, ok := c.FindContaining(7, 3, outer); !ok {
+		t.Fatal("self-containment missed")
+	}
+}
+
+// TestFindContainingPrefersRecent: among several valid sources the most
+// recently used wins, and a successful lookup refreshes the source.
+func TestFindContainingPrefersRecent(t *testing.T) {
+	c := New(8)
+	big := boxRegion(t, []float64{0.05, 0.05}, []float64{0.6, 0.6})
+	mid := boxRegion(t, []float64{0.1, 0.1}, []float64{0.5, 0.5})
+	inner := boxRegion(t, []float64{0.2, 0.2}, []float64{0.3, 0.3})
+	c.Add("big", big, 3, 7, 100, "big")
+	c.Add("mid", mid, 3, 7, 100, "mid")
+	if v, _, _ := c.FindContaining(7, 3, inner); v != "mid" {
+		t.Fatalf("picked %v, want the more recent mid", v)
+	}
+	c.Get("big")
+	if v, _, _ := c.FindContaining(7, 3, inner); v != "big" {
+		t.Fatalf("picked %v, want the refreshed big", v)
+	}
+}
+
+// TestEvictionMaintainsContainmentIndex: entries removed by key or by
+// capacity stop being containment sources.
+func TestEvictionMaintainsContainmentIndex(t *testing.T) {
+	c := New(4)
+	outer := boxRegion(t, []float64{0.1, 0.1}, []float64{0.5, 0.5})
+	inner := boxRegion(t, []float64{0.2, 0.2}, []float64{0.3, 0.3})
+	c.Add("outer", outer, 3, 7, 100, "src")
+	if n := c.EvictKeys([]string{"outer", "ghost"}); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if _, _, ok := c.FindContaining(7, 3, inner); ok {
+		t.Fatal("evicted entry still reachable via containment")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after eviction", c.Len())
+	}
+
+	// Capacity eviction path.
+	small := New(1)
+	small.Add("outer", outer, 3, 7, 1, "src")
+	small.Add("other", inner, 9, 1, 1e6, "x")
+	if _, _, ok := small.FindContaining(7, 3, inner); ok {
+		t.Fatal("capacity-evicted entry still reachable via containment")
+	}
+}
+
+func TestSnapshotAndPeek(t *testing.T) {
+	c := New(4)
+	r1 := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	r2 := boxRegion(t, []float64{0.3, 0.3}, []float64{0.4, 0.4})
+	c.Add("a", r1, 3, 1, 10, "va")
+	c.Add("b", r2, 5, 1, 10, "vb")
+	rows := c.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("snapshot has %d rows", len(rows))
+	}
+	seen := map[string]int{}
+	for _, row := range rows {
+		seen[row.Key] = row.K
+	}
+	if seen["a"] != 3 || seen["b"] != 5 {
+		t.Fatalf("snapshot rows wrong: %v", seen)
+	}
+	// Peek does not refresh recency: after peeking "a" many times, adding
+	// an overflow entry still evicts "a" as the stalest (equal costs).
+	small := New(2)
+	small.Add("a", r1, 3, 1, 10, "va")
+	small.Add("b", r2, 5, 1, 10, "vb")
+	for i := 0; i < 10; i++ {
+		if _, ok := small.Peek("a"); !ok {
+			t.Fatal("peek missed resident entry")
+		}
+	}
+	small.Add("c", r2, 6, 1, 10, "vc")
+	if _, ok := small.Peek("a"); ok {
+		t.Fatal("peek refreshed recency: stale entry survived")
+	}
+}
+
+// TestClipCell covers the three clipping outcomes: a cell inside the clip
+// region (kept via the interior fast path), a straddling cell (kept with a
+// fresh interior point), and a disjoint cell (dropped).
+func TestClipCell(t *testing.T) {
+	clip := boxRegion(t, []float64{0.2, 0.2}, []float64{0.4, 0.4})
+	cases := []struct {
+		name     string
+		cell     *geom.Region // stand-in for the cell's bounding box
+		keep     bool
+		fastPath bool
+	}{
+		{"inside", boxRegion(t, []float64{0.25, 0.25}, []float64{0.35, 0.35}), true, true},
+		{"straddling", boxRegion(t, []float64{0.3, 0.3}, []float64{0.6, 0.6}), true, false},
+		{"disjoint", boxRegion(t, []float64{0.45, 0.45}, []float64{0.49, 0.49}), false, false},
+		{"touching-boundary-only", boxRegion(t, []float64{0.4, 0.2}, []float64{0.6, 0.4}), false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cons := tc.cell.Halfspaces()
+			interior := tc.cell.Pivot()
+			clipped, pt, ok := ClipCell(2, cons, interior, clip)
+			if ok != tc.keep {
+				t.Fatalf("ok = %v, want %v", ok, tc.keep)
+			}
+			if !tc.keep {
+				return
+			}
+			if tc.fastPath && fmt.Sprint(pt) != fmt.Sprint(interior) {
+				t.Errorf("fast path not taken: interior %v became %v", interior, pt)
+			}
+			// The returned point must lie in the cell AND the clip region,
+			// and satisfy every clipped constraint.
+			if !tc.cell.Contains(pt) || !clip.Contains(pt) {
+				t.Errorf("interior %v escapes the intersection", pt)
+			}
+			for _, h := range clipped {
+				if !h.Contains(pt) {
+					t.Errorf("interior %v violates clipped constraint", pt)
+				}
+			}
+			// Clipping against the cell's own region must not duplicate
+			// constraints.
+			self, _, ok := ClipCell(2, cons, interior, tc.cell)
+			if !ok || len(self) != len(cons) {
+				t.Errorf("self-clip grew constraints: %d -> %d (ok=%v)", len(cons), len(self), ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestBatchEndpoints covers /utk1batch and /utk2batch: index-aligned
+// results, per-element errors for malformed queries without failing the
+// batch, and the answers matching the single-query endpoints.
+func TestBatchEndpoints(t *testing.T) {
+	_, srv := fixture(t, "main")
+
+	region := map[string]any{"lo": []float64{0.2, 0.2}, "hi": []float64{0.25, 0.25}}
+	body := map[string]any{
+		"queries": []map[string]any{
+			{"k": 3, "region": region},
+			{"k": 2}, // missing region: per-element error
+			{"k": 2, "region": region},
+		},
+	}
+	resp, out := post(t, srv.URL+"/utk1batch/main", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	results, ok := out["results"].([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("results = %v", out["results"])
+	}
+	first := results[0].(map[string]any)
+	if _, ok := first["records"]; !ok {
+		t.Errorf("first result has no records: %v", first)
+	}
+	if msg, ok := results[1].(map[string]any)["error"].(string); !ok || !strings.Contains(msg, "region") {
+		t.Errorf("malformed element did not yield a region error: %v", results[1])
+	}
+	if _, ok := results[2].(map[string]any)["records"]; !ok {
+		t.Errorf("element after the malformed one was not served: %v", results[2])
+	}
+
+	// The batch answer must match the single-query endpoint's.
+	_, single := post(t, srv.URL+"/utk1/main", map[string]any{"k": 3, "region": region})
+	if fmt.Sprint(first["records"]) != fmt.Sprint(single["records"]) {
+		t.Errorf("batch records %v != single %v", first["records"], single["records"])
+	}
+
+	// UTK2 batch returns cell partitionings per element.
+	resp, out = post(t, srv.URL+"/utk2batch/main", map[string]any{
+		"queries": []map[string]any{{"k": 2, "region": region}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("utk2batch status %d", resp.StatusCode)
+	}
+	results = out["results"].([]any)
+	cells, ok := results[0].(map[string]any)["cells"].([]any)
+	if !ok || len(cells) == 0 {
+		t.Errorf("utk2batch returned no cells: %v", results[0])
+	}
+
+	// Empty and malformed batches are rejected whole.
+	if resp, _ := post(t, srv.URL+"/utk1batch/main", map[string]any{"queries": []any{}}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, srv.URL+"/utk1batch/nope", body); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint covers the Prometheus text exposition: per-dataset
+// labeled series for the fleet counters, reflecting served traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, srv := fixture(t, "alpha", "beta")
+
+	// Serve some traffic on alpha: one miss, one exact hit, one derived hit
+	// (UTK2 cached, then UTK1 of the same region derives by containment).
+	region := map[string]any{"lo": []float64{0.2, 0.2}, "hi": []float64{0.25, 0.25}}
+	post(t, srv.URL+"/utk2/alpha", map[string]any{"k": 3, "region": region})
+	post(t, srv.URL+"/utk2/alpha", map[string]any{"k": 3, "region": region})
+	post(t, srv.URL+"/utk1/alpha", map[string]any{"k": 3, "region": region})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	for _, want := range []string{
+		"# TYPE utk_queries_total counter",
+		"utk_datasets 2",
+		`utk_queries_total{dataset="alpha"} 3`,
+		`utk_queries_total{dataset="beta"} 0`,
+		`utk_cache_hits_total{dataset="alpha"} 1`,
+		`utk_cache_derived_hits_total{dataset="alpha"} 1`,
+		`utk_cache_invalidations_total{dataset="alpha"} 0`,
+		`utk_epoch{dataset="alpha"} 0`,
+		`utk_live_records{dataset="alpha"} 150`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// An update moves the epoch and the update counters.
+	post(t, srv.URL+"/update/beta", map[string]any{"insert": [][]float64{{2, 2, 2}}})
+	resp2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, _ = io.ReadAll(resp2.Body)
+	for _, want := range []string{
+		`utk_inserts_total{dataset="beta"} 1`,
+		`utk_update_batches_total{dataset="beta"} 1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics output missing %q after update", want)
+		}
+	}
+}

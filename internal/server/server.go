@@ -4,9 +4,12 @@
 //
 //	POST   /utk1/{dataset}    UTK1 query        {"k":10,"region":{"lo":[...],"hi":[...]}}
 //	POST   /utk2/{dataset}    UTK2 query        same body; returns the partitioning
+//	POST   /utk1batch/{dataset}  many UTK1 queries  {"queries":[{...},...]}; per-query results/errors
+//	POST   /utk2batch/{dataset}  many UTK2 queries  same shape, partitionings per query
 //	POST   /update/{dataset}  atomic batch      {"delete":[3,17],"insert":[[...],...]}
 //	GET    /stats             fleet aggregate + per-dataset engine counters
 //	GET    /stats/{dataset}   one engine's counters
+//	GET    /metrics           Prometheus text exposition of the fleet counters
 //	GET    /datasets          registered names with dimensions and options
 //	POST   /datasets/{name}   create: {"records":[[...]]} or {"gen":"IND","n":1000,"d":4,"seed":1},
 //	                          plus {"maxk":10,"shards":4,"shadow":0,"cache":256,"workers":0,"timeout_ms":5000}
@@ -23,11 +26,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
 	utk "repro"
@@ -65,8 +70,13 @@ func New(reg *registry.Registry, cfg Config) http.Handler {
 	mux.HandleFunc("POST /utk1/{dataset}", s.handleUTK1)
 	mux.HandleFunc("POST /utk2", s.handleUTK2)
 	mux.HandleFunc("POST /utk2/{dataset}", s.handleUTK2)
+	mux.HandleFunc("POST /utk1batch", s.handleUTK1Batch)
+	mux.HandleFunc("POST /utk1batch/{dataset}", s.handleUTK1Batch)
+	mux.HandleFunc("POST /utk2batch", s.handleUTK2Batch)
+	mux.HandleFunc("POST /utk2batch/{dataset}", s.handleUTK2Batch)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("POST /update/{dataset}", s.handleUpdate)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /stats", s.handleStatsAll)
 	mux.HandleFunc("GET /stats/{dataset}", s.handleStats)
 	mux.HandleFunc("GET /datasets", s.handleList)
@@ -129,12 +139,8 @@ func statsPayloadFrom(st utk.Stats) statsPayload {
 	}
 }
 
-func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, ent *registry.Entry) (utk.Query, bool) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return utk.Query{}, false
-	}
+// buildQuery converts one decoded query body into a utk.Query.
+func buildQuery(req queryRequest, ent *registry.Entry) (utk.Query, error) {
 	var region *utk.Region
 	var err error
 	switch {
@@ -150,10 +156,23 @@ func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, ent *registr
 		err = fmt.Errorf("provide region {lo, hi} or halfspaces")
 	}
 	if err != nil {
-		http.Error(w, "bad region: "+err.Error(), http.StatusBadRequest)
+		return utk.Query{}, fmt.Errorf("bad region: %w", err)
+	}
+	return utk.Query{K: req.K, Region: region}, nil
+}
+
+func (s *Server) parseQuery(w http.ResponseWriter, r *http.Request, ent *registry.Entry) (utk.Query, bool) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return utk.Query{}, false
 	}
-	return utk.Query{K: req.K, Region: region}, true
+	q, err := buildQuery(req, ent)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return utk.Query{}, false
+	}
+	return q, true
 }
 
 func (s *Server) handleUTK1(w http.ResponseWriter, r *http.Request) {
@@ -170,12 +189,38 @@ func (s *Server) handleUTK1(w http.ResponseWriter, r *http.Request) {
 		queryError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{
-		"dataset":   ent.Name,
+	p := utk1Payload(res)
+	p["dataset"] = ent.Name
+	writeJSON(w, p)
+}
+
+// utk1Payload and utk2Payload shape one query's answer; the batch endpoints
+// reuse them per element.
+func utk1Payload(res *utk.UTK1Result) map[string]any {
+	return map[string]any{
 		"records":   res.Records,
 		"cache_hit": res.CacheHit,
+		"derived":   res.Derived,
 		"stats":     statsPayloadFrom(res.Stats),
-	})
+	}
+}
+
+type cellPayload struct {
+	TopK     []int     `json:"top_k"`
+	Interior []float64 `json:"interior"`
+}
+
+func utk2Payload(res *utk.UTK2Result) map[string]any {
+	cells := make([]cellPayload, len(res.Cells))
+	for i, c := range res.Cells {
+		cells[i] = cellPayload{TopK: c.TopK, Interior: c.Interior}
+	}
+	return map[string]any{
+		"cells":     cells,
+		"cache_hit": res.CacheHit,
+		"derived":   res.Derived,
+		"stats":     statsPayloadFrom(res.Stats),
+	}
 }
 
 func (s *Server) handleUTK2(w http.ResponseWriter, r *http.Request) {
@@ -192,20 +237,92 @@ func (s *Server) handleUTK2(w http.ResponseWriter, r *http.Request) {
 		queryError(w, err)
 		return
 	}
-	type cellPayload struct {
-		TopK     []int     `json:"top_k"`
-		Interior []float64 `json:"interior"`
+	p := utk2Payload(res)
+	p["dataset"] = ent.Name
+	writeJSON(w, p)
+}
+
+// batchRequest is the JSON body of /utk1batch and /utk2batch.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+// parseBatch decodes a batch body and builds the per-element queries.
+// Malformed elements do not fail the batch: they yield a per-element error
+// and the rest still runs, mirroring the engine's index-aligned batch API.
+func (s *Server) parseBatch(w http.ResponseWriter, r *http.Request, ent *registry.Entry) (qs []utk.Query, errs []error, idx []int, n int, ok bool) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return nil, nil, nil, 0, false
 	}
-	cells := make([]cellPayload, len(res.Cells))
-	for i, c := range res.Cells {
-		cells[i] = cellPayload{TopK: c.TopK, Interior: c.Interior}
+	if len(req.Queries) == 0 {
+		http.Error(w, "provide a non-empty queries array", http.StatusBadRequest)
+		return nil, nil, nil, 0, false
 	}
-	writeJSON(w, map[string]any{
-		"dataset":   ent.Name,
-		"cells":     cells,
-		"cache_hit": res.CacheHit,
-		"stats":     statsPayloadFrom(res.Stats),
-	})
+	errs = make([]error, len(req.Queries))
+	for i, qr := range req.Queries {
+		q, err := buildQuery(qr, ent)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		qs = append(qs, q)
+		idx = append(idx, i)
+	}
+	return qs, errs, idx, len(req.Queries), true
+}
+
+func (s *Server) handleUTK1Batch(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	qs, errs, idx, n, ok := s.parseBatch(w, r, ent)
+	if !ok {
+		return
+	}
+	results, doErrs := ent.Engine.UTK1Batch(r.Context(), qs)
+	out := make([]map[string]any, n)
+	for bi, i := range idx {
+		if doErrs[bi] != nil {
+			errs[i] = doErrs[bi]
+			continue
+		}
+		out[i] = utk1Payload(results[bi])
+	}
+	for i, err := range errs {
+		if err != nil {
+			out[i] = map[string]any{"error": err.Error()}
+		}
+	}
+	writeJSON(w, map[string]any{"dataset": ent.Name, "results": out})
+}
+
+func (s *Server) handleUTK2Batch(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	qs, errs, idx, n, ok := s.parseBatch(w, r, ent)
+	if !ok {
+		return
+	}
+	results, doErrs := ent.Engine.UTK2Batch(r.Context(), qs)
+	out := make([]map[string]any, n)
+	for bi, i := range idx {
+		if doErrs[bi] != nil {
+			errs[i] = doErrs[bi]
+			continue
+		}
+		out[i] = utk2Payload(results[bi])
+	}
+	for i, err := range errs {
+		if err != nil {
+			out[i] = map[string]any{"error": err.Error()}
+		}
+	}
+	writeJSON(w, map[string]any{"dataset": ent.Name, "results": out})
 }
 
 // updateRequest is the JSON body of /update. Deletes apply before inserts.
@@ -262,7 +379,9 @@ func engineStatsPayload(st utk.EngineStats) map[string]any {
 		"hits":             st.Hits,
 		"misses":           st.Misses,
 		"shared":           st.Shared,
+		"derived_hits":     st.DerivedHits,
 		"evictions":        st.Evictions,
+		"cost_evictions":   st.CostEvictions,
 		"invalidations":    st.Invalidations,
 		"rejected":         st.Rejected,
 		"in_flight":        st.InFlight,
@@ -306,7 +425,9 @@ func (s *Server) handleStatsAll(w http.ResponseWriter, r *http.Request) {
 		"hits":           agg.Hits,
 		"misses":         agg.Misses,
 		"shared":         agg.Shared,
+		"derived_hits":   agg.DerivedHits,
 		"evictions":      agg.Evictions,
+		"cost_evictions": agg.CostEvictions,
 		"invalidations":  agg.Invalidations,
 		"rejected":       agg.Rejected,
 		"in_flight":      agg.InFlight,
@@ -317,6 +438,57 @@ func (s *Server) handleStatsAll(w http.ResponseWriter, r *http.Request) {
 		"update_batches": agg.UpdateBatches,
 		"per_dataset":    per,
 	})
+}
+
+// handleMetrics renders the fleet counters in the Prometheus text
+// exposition format: one labeled series per dataset for each counter, plus
+// fleet-level gauges. Dataset names are restricted by registry.ValidateName
+// to label-safe characters, so no escaping is needed.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	agg := s.reg.Stats()
+	names := make([]string, 0, len(agg.PerDataset))
+	for name := range agg.PerDataset {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b bytes.Buffer
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	gauge("utk_datasets", "Registered serving engines.", agg.Datasets)
+	gauge("utk_shards", "Total horizontal partitions across engines.", agg.Shards)
+	gauge("utk_in_flight", "Computations executing right now.", agg.InFlight)
+	gauge("utk_cache_entries", "Resident result-cache entries.", agg.CacheEntries)
+
+	type series struct {
+		name, help, kind string
+		get              func(utk.EngineStats) any
+	}
+	perDataset := []series{
+		{"utk_queries_total", "Completed queries.", "counter", func(st utk.EngineStats) any { return st.Queries }},
+		{"utk_cache_hits_total", "Exact result-cache hits.", "counter", func(st utk.EngineStats) any { return st.Hits }},
+		{"utk_cache_derived_hits_total", "Misses answered by containment-based cell clipping.", "counter", func(st utk.EngineStats) any { return st.DerivedHits }},
+		{"utk_cache_misses_total", "Result-cache misses that computed.", "counter", func(st utk.EngineStats) any { return st.Misses }},
+		{"utk_cache_shared_total", "Queries coalesced onto an identical in-flight computation.", "counter", func(st utk.EngineStats) any { return st.Shared }},
+		{"utk_cache_evictions_total", "Capacity evictions.", "counter", func(st utk.EngineStats) any { return st.Evictions }},
+		{"utk_cache_cost_evictions_total", "Capacity evictions where the cost-aware policy overrode recency.", "counter", func(st utk.EngineStats) any { return st.CostEvictions }},
+		{"utk_cache_invalidations_total", "Cache entries evicted by update invalidation.", "counter", func(st utk.EngineStats) any { return st.Invalidations }},
+		{"utk_rejected_total", "Queries that gave up before obtaining a result.", "counter", func(st utk.EngineStats) any { return st.Rejected }},
+		{"utk_epoch", "Current index version.", "gauge", func(st utk.EngineStats) any { return st.Epoch }},
+		{"utk_live_records", "Live record population.", "gauge", func(st utk.EngineStats) any { return st.Live }},
+		{"utk_inserts_total", "Applied record inserts.", "counter", func(st utk.EngineStats) any { return st.Inserts }},
+		{"utk_deletes_total", "Applied record deletes.", "counter", func(st utk.EngineStats) any { return st.Deletes }},
+		{"utk_update_batches_total", "Applied update batches.", "counter", func(st utk.EngineStats) any { return st.UpdateBatches }},
+	}
+	for _, sr := range perDataset {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.kind)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s{dataset=%q} %v\n", sr.name, name, sr.get(agg.PerDataset[name]))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -21,9 +21,11 @@
 // (per-shard caches of depth-derived candidate lists are reused as superset
 // providers via engine.Candidates), so a dynamic insert or delete routes to
 // the owning shard and recomputes only that shard's band. The merge layer
-// adds its own LRU result cache under the engine's canonical fingerprint
-// keys with the same batch-aware precise invalidation protocol, run against
-// the union band.
+// adds its own result cache — the same shared rescache subsystem the
+// single-partition engine uses, under the engine's canonical fingerprint
+// keys — so cost-aware eviction and containment-based reuse (cell clipping
+// via engine.DeriveClipped) apply to sharded serving for free, with the same
+// batch-aware precise invalidation protocol, run against the union band.
 //
 // Consistency: updates are serialized and atomic per shard. A query
 // concurrent with a multi-shard batch may observe a state where only a
@@ -121,7 +123,9 @@ type Engine struct {
 	hits          uint64
 	misses        uint64
 	shared        uint64
+	derived       uint64
 	evicted       uint64
+	costEvicted   uint64
 	invalidations uint64
 	rejected      uint64
 	batches       uint64
@@ -643,6 +647,7 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 	// may receive a pre-update answer (a consistent state they could equally
 	// have observed by arriving earlier); such results are never cached.
 	var fl *flight
+	derivedTried := false
 	for fl == nil {
 		s.mu.Lock()
 		if s.cache != nil {
@@ -653,6 +658,38 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 				hit := *res
 				hit.CacheHit = true
 				return &hit, nil
+			}
+			// Derived-answer fast path, shared with the single-partition
+			// engine: an exact miss inside a cached UTK2 region is answered
+			// by cell clipping before any merge work. The source was
+			// resident under the mutex, so serving is at worst a consistent
+			// pre-update answer; caching is gated on the seqlock proving no
+			// update window overlapped the clipping.
+			if !derivedTried {
+				if src, _, ok := s.cache.FindContaining(req); ok {
+					seq0 := s.seq.Load()
+					s.mu.Unlock()
+					derivedTried = true
+					if res := engine.DeriveClipped(req, src); res != nil {
+						s.mu.Lock()
+						s.derived++
+						s.queries++
+						if seq0%2 == 0 && s.seq.Load() == seq0 {
+							ev, costly := s.cache.Add(key, req, res)
+							if ev {
+								s.evicted++
+							}
+							if costly {
+								s.costEvicted++
+							}
+						}
+						s.mu.Unlock()
+						hit := *res
+						hit.CacheHit = true
+						return &hit, nil
+					}
+					continue // defensive: derivation failed, merge instead
+				}
 			}
 		}
 		if other, ok := s.inflight[key]; ok {
@@ -731,8 +768,12 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 	// anywhere inside the window, so the result reflects the current state
 	// and cannot have missed an invalidation probe.
 	if s.cache != nil && seq0%2 == 0 && s.seq.Load() == seq0 {
-		if s.cache.Add(key, req.Region, req.K, res) {
+		ev, costly := s.cache.Add(key, req, res)
+		if ev {
 			s.evicted++
+		}
+		if costly {
+			s.costEvicted++
 		}
 	}
 	s.mu.Unlock()
@@ -838,6 +879,7 @@ func (s *Engine) compute(ctx context.Context, req engine.Request) (*engine.Resul
 		return nil, errors.New("shard: unknown variant")
 	}
 	res.Stats = *st
+	res.Cost = st.FilterDuration + st.RefineDuration
 	return res, nil
 }
 
@@ -883,7 +925,9 @@ func (s *Engine) Stats() engine.Stats {
 	agg.Hits = s.hits
 	agg.Misses = s.misses
 	agg.Shared = s.shared
+	agg.DerivedHits = s.derived
 	agg.Evictions = s.evicted
+	agg.CostEvictions = s.costEvicted
 	agg.Invalidations = s.invalidations
 	agg.Rejected = s.rejected
 	agg.InFlight = s.active

@@ -349,7 +349,7 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	if want := 400 + updates/2; st.Live != want {
 		t.Fatalf("live %d, want %d", st.Live, want)
 	}
-	if st.Queries != st.Hits+st.Misses+st.Shared {
+	if st.Queries != st.Hits+st.Misses+st.Shared+st.DerivedHits {
 		t.Fatalf("query counters do not reconcile: %+v", st)
 	}
 }
@@ -400,7 +400,7 @@ func TestSingleFlight(t *testing.T) {
 	if st.Misses >= N {
 		t.Fatalf("all %d identical queries computed independently: %+v", N, st)
 	}
-	if st.Hits+st.Misses+st.Shared != N {
+	if st.Hits+st.Misses+st.Shared+st.DerivedHits != N {
 		t.Fatalf("counters do not reconcile: %+v", st)
 	}
 }

@@ -337,6 +337,10 @@ type UTK1Result struct {
 	// CacheHit reports whether an Engine served the answer from its result
 	// cache (always false for direct Dataset queries).
 	CacheHit bool
+	// Derived reports whether an Engine derived the answer from a cached
+	// containing-region UTK2 result by cell clipping (always false for
+	// direct Dataset queries).
+	Derived bool
 }
 
 // Cell is one partition of a UTK2 answer.
@@ -391,6 +395,10 @@ type UTK2Result struct {
 	// CacheHit reports whether an Engine served the answer from its result
 	// cache (always false for direct Dataset queries).
 	CacheHit bool
+	// Derived reports whether an Engine derived the answer from a cached
+	// containing-region UTK2 result by cell clipping (always false for
+	// direct Dataset queries).
+	Derived bool
 }
 
 // UTK1 reports all records that can appear in a top-k set when the weight
