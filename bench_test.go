@@ -593,6 +593,27 @@ func BenchmarkEngineHotUTK1(b *testing.B) {
 	}
 }
 
+// BenchmarkUTK2 measures cold UTK2 scaling with the Workers option on the
+// 50k/d=4 configuration: the full JAA pipeline (prefiltered BBS graph build
+// plus refinement), sequential versus the exact region decomposition at
+// increasing worker counts. The region uses σ = 0.05 and k = 20 (the same
+// widened workload BenchmarkParallelRSA uses) so the run is
+// refinement-bound; at the σ = 0.01 default this seed's region yields
+// candidates ≤ k — a single-cell answer with no refinement to decompose.
+func BenchmarkUTK2(b *testing.B) {
+	idx := benchIND(b, benchN, benchD)
+	r := benchBox(b, benchD-1, 0.05)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.JAA(idx.tree, r, 20, core.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkParallelRSA measures the Workers option scaling.
 func BenchmarkParallelRSA(b *testing.B) {
 	idx := benchIND(b, benchN, benchD)

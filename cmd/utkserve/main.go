@@ -55,11 +55,13 @@ func main() {
 		maxK     = flag.Int("maxk", 20, "largest top-k depth the engine serves")
 		shadow   = flag.Int("shadow", 0, "deletion-repair shadow depth beyond maxk (0 = maxk)")
 		cache    = flag.Int("cache", 0, "result-cache entries (0 = default, negative disables)")
-		workers  = flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "executor worker limit (0 = GOMAXPROCS)")
+		maxQd    = flag.Int("max-queued", 0, "queries allowed to wait for an executor slot before 429 (0 = unbounded, negative = no queue)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-query deadline (0 = none)")
 		noAdmin  = flag.Bool("no-admin", false, "disable dataset create/drop over HTTP")
 		maxBody  = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
+		logReqs  = flag.Bool("log-requests", false, "emit one structured log line per request (method, dataset, variant, k, duration, served, status)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 		ShadowDepth:  *shadow,
 		CacheEntries: *cache,
 		Workers:      *workers,
+		MaxQueued:    *maxQd,
 		QueryTimeout: *timeout,
 	})
 	if err != nil {
@@ -83,6 +86,7 @@ func main() {
 	handler := server.New(reg, server.Config{
 		MaxBodyBytes: *maxBody,
 		AllowCreate:  !*noAdmin,
+		LogRequests:  *logReqs,
 	})
 	st := ent.Engine.Stats()
 	log.Printf("utkserve: dataset %q: %d records, %d attributes, maxk=%d, shards=%d, superset=%d, listening on %s",

@@ -27,9 +27,17 @@ type EngineConfig struct {
 	// capacities (tens of thousands and up) trade insert latency for hit
 	// rate.
 	CacheEntries int
-	// Workers bounds the number of concurrently executing queries; values
+	// Workers bounds the engine's executor: at most this many tasks —
+	// queries, plus the refinement subtasks of queries that request
+	// intra-query parallelism via Query.Workers — run at a time. Values
 	// below 1 default to runtime.GOMAXPROCS(0).
 	Workers int
+	// MaxQueued bounds how many queries may wait for an executor slot before
+	// new arrivals are rejected with ErrSaturated — the backpressure signal
+	// serving tiers map to 429 responses. 0 means unbounded (no
+	// backpressure); negative means no queue at all (reject whenever every
+	// worker is busy); positive is the bound itself.
+	MaxQueued int
 	// QueryTimeout, when positive, is the deadline applied to queries whose
 	// context carries none. It covers queueing, waiting on a deduplicated
 	// identical query, and — through the cancellation hook threaded into
@@ -107,6 +115,11 @@ var (
 	ErrBadUpdate = engine.ErrBadUpdate
 )
 
+// ErrSaturated reports that a query was refused because the engine's
+// executor queue was at its EngineConfig.MaxQueued bound — the load-shedding
+// signal the HTTP tier converts into 429 with Retry-After.
+var ErrSaturated = engine.ErrSaturated
+
 // EngineStats is a point-in-time snapshot of an Engine's counters.
 type EngineStats struct {
 	// Queries counts completed queries, however they were served.
@@ -123,13 +136,17 @@ type EngineStats struct {
 	// where the cost-aware policy chose a different victim than plain
 	// recency would have. Invalidations counts cache entries evicted because
 	// an update could affect them. Rejected counts queries that gave up
-	// (deadline or cancellation) before obtaining a result.
+	// (deadline or cancellation) before obtaining a result. Saturated counts
+	// queries refused at the executor's queue bound (MaxQueued).
 	Evictions     uint64
 	CostEvictions uint64
 	Invalidations uint64
 	Rejected      uint64
-	// InFlight is the number of computations executing right now.
+	Saturated     uint64
+	// InFlight is the number of query computations executing right now;
+	// Queued is the number of tasks waiting for an executor slot.
 	InFlight int
+	Queued   int
 	// CacheEntries is the current cache population.
 	CacheEntries int
 	// Epoch is the current index version; it advances whenever an update
@@ -176,6 +193,7 @@ func (ds *Dataset) NewEngine(cfg EngineConfig) (*Engine, error) {
 		ShadowDepth:  cfg.ShadowDepth,
 		CacheEntries: entries,
 		Workers:      cfg.Workers,
+		MaxQueued:    cfg.MaxQueued,
 		QueryTimeout: cfg.QueryTimeout,
 	})
 	if err != nil {
@@ -213,6 +231,7 @@ func (ds *Dataset) NewShardedEngine(shards int, cfg EngineConfig) (*Engine, erro
 			ShadowDepth:  cfg.ShadowDepth,
 			CacheEntries: entries,
 			Workers:      cfg.Workers,
+			MaxQueued:    cfg.MaxQueued,
 			QueryTimeout: cfg.QueryTimeout,
 		},
 	})
@@ -242,7 +261,9 @@ func (e *Engine) Stats() EngineStats {
 		CostEvictions:   st.CostEvictions,
 		Invalidations:   st.Invalidations,
 		Rejected:        st.Rejected,
+		Saturated:       st.Saturated,
 		InFlight:        st.InFlight,
+		Queued:          st.Queued,
 		CacheEntries:    st.CacheEntries,
 		Epoch:           st.Epoch,
 		Live:            st.Live,
@@ -323,8 +344,9 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 }
 
 // UTK1 answers a UTK1 query through the engine. The query must use the
-// paper's algorithms (AlgoAuto or AlgoRSA); Query.Workers is ignored — the
-// engine's pool provides the concurrency.
+// paper's algorithms (AlgoAuto or AlgoRSA). Query.Workers > 1 requests
+// intra-query parallel refinement, fanned out on the engine's own executor
+// so one pool governs inter- and intra-query concurrency.
 func (e *Engine) UTK1(ctx context.Context, q Query) (*UTK1Result, error) {
 	res, err := e.do(ctx, engine.UTK1, q)
 	if err != nil {

@@ -132,7 +132,7 @@ func TestEngineFacadeBatchAndConcurrency(t *testing.T) {
 }
 
 // TestEffectiveWorkersStat pins the documented Workers semantics: honored by
-// UTK1, clamped to one worker by UTK2.
+// UTK1 (parallel verification) and by UTK2 (exact region decomposition).
 func TestEffectiveWorkersStat(t *testing.T) {
 	ds, r := facadeFixture(t)
 	res1, err := ds.UTK1(Query{K: 5, Region: r, Workers: 3})
@@ -153,8 +153,15 @@ func TestEffectiveWorkersStat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Stats.EffectiveWorkers != 1 {
-		t.Errorf("UTK2 EffectiveWorkers = %d, want 1 (JAA is sequential)", res2.Stats.EffectiveWorkers)
+	if res2.Stats.EffectiveWorkers != 3 {
+		t.Errorf("UTK2 EffectiveWorkers = %d, want 3 (decomposed box regions honor Workers)", res2.Stats.EffectiveWorkers)
+	}
+	seq2, err := ds.UTK2(Query{K: 5, Region: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2.Stats.EffectiveWorkers != 1 {
+		t.Errorf("sequential UTK2 EffectiveWorkers = %d, want 1", seq2.Stats.EffectiveWorkers)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/arrangement"
 	"repro/internal/bitset"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/skyband"
@@ -25,18 +26,37 @@ type Options struct {
 	// LinearDrill replaces the graph-guided branch-and-bound top-k search of
 	// the drill with a linear scan over candidates (ablation).
 	LinearDrill bool
-	// Workers > 1 verifies RSA candidates concurrently. The result is
-	// identical to the sequential run: a verification verdict does not
-	// depend on which non-result candidates have been removed, because true
-	// top-k members are never removed and already force every
-	// disqualification.
+	// Workers > 1 runs the refinement concurrently on the executor. RSA
+	// verifies candidates in parallel; the result is identical to the
+	// sequential run, because a verification verdict does not depend on
+	// which non-result candidates have been removed (true top-k members are
+	// never removed and already force every disqualification).
 	//
-	// JAA is inherently sequential over its global arrangement: every
-	// recursion step extends one shared partitioning, so it always runs with
-	// a single worker regardless of this setting. Both algorithms record the
-	// worker count they actually ran with in Stats.EffectiveWorkers, so
-	// callers can tell a honored request from a clamped one.
+	// JAA honors Workers by exact region decomposition: the query region is
+	// oversplit into several subregions per worker (longest-axis bisections
+	// of its bounding box; see jaaOversplit) for load balance, an
+	// independent JAA runs per subregion — Workers at a time — and the
+	// partial partitionings are stitched (seam-split cell fragments with
+	// identical top-k sets are coalesced back into one cell). The
+	// decomposition is exact for the same reason cell clipping is — the
+	// top-k order is constant within a cell, so JAA restricted to a
+	// subregion yields exactly the full partitioning clipped to that
+	// subregion. Cell geometry may be carved differently than a sequential
+	// run's (both are exact partitionings of the same region with the same
+	// top-k sets); given a fixed region and worker count the output is
+	// deterministic. Both algorithms record the concurrency they actually
+	// ran with in Stats.EffectiveWorkers, so callers can tell a honored
+	// request from a clamped one (e.g. an unsplittable vertex-only region).
+	//
+	// Values above MaxWorkers are clamped to it: honoring a pathological
+	// request (millions of decomposition pieces, task fan-out, per-task
+	// state) would be a resource-exhaustion hazard, not a speedup.
 	Workers int
+	// Pool, when non-nil, is the executor the refinement fans out on when
+	// Workers > 1 — serving layers pass their own scheduler so one pool
+	// governs all concurrency. When nil, a transient executor with Workers
+	// workers is used.
+	Pool *exec.Pool
 	// Cancel, when non-nil, is polled at every Verify/Partition recursion
 	// step. Once it returns true the refinement abandons its remaining work
 	// and the algorithm returns ErrCanceled, so an expired or superseded
@@ -60,8 +80,12 @@ type Stats struct {
 	// Partition invocations (JAA).
 	VerifyCalls    int
 	PartitionCalls int
-	// EffectiveWorkers is the number of workers the refinement actually used:
-	// max(1, Options.Workers) for RSA, always 1 for JAA (see Options.Workers).
+	// EffectiveWorkers is the concurrency the refinement actually used:
+	// max(1, Options.Workers) for RSA; for JAA, Options.Workers when the
+	// region decomposed (the oversplit pieces run that many at a time), the
+	// piece count when it split into fewer pieces than workers, and 1 when
+	// it is unsplittable. Requests above MaxWorkers report the clamped
+	// value. See Options.Workers.
 	EffectiveWorkers int
 	// Arrangement aggregates counters over every disposable arrangement.
 	Arrangement arrangement.Stats
@@ -73,6 +97,49 @@ type Stats struct {
 	// counts the distinct top-k sets across them.
 	Partitions     int
 	UniqueTopKSets int
+}
+
+// Merge folds one concurrent task's counters into the aggregate: additive
+// counters sum, peak cell counts take the maximum (tasks hold disjoint
+// arrangements at distinct times), and peak byte estimates sum (concurrent
+// tasks' arrangements are resident together, so the sum bounds the true
+// peak). The split durations, candidate count, and output descriptors are
+// owned by the top-level run and are not merged.
+func (st *Stats) Merge(ws *Stats) {
+	st.Drills += ws.Drills
+	st.DrillHits += ws.DrillHits
+	st.VerifyCalls += ws.VerifyCalls
+	st.PartitionCalls += ws.PartitionCalls
+	st.Arrangement.LPCalls += ws.Arrangement.LPCalls
+	st.Arrangement.CellSplits += ws.Arrangement.CellSplits
+	if ws.Arrangement.PeakCells > st.Arrangement.PeakCells {
+		st.Arrangement.PeakCells = ws.Arrangement.PeakCells
+	}
+	st.Arrangement.PeakBytes += ws.Arrangement.PeakBytes
+}
+
+// MaxWorkers caps Options.Workers: large enough never to bind on real
+// hardware, small enough that a hostile or buggy request cannot turn the
+// worker count into an allocation amplifier (UTK2 decomposes the region into
+// a multiple of it, RSA spawns one verification task and stat block per
+// worker).
+const MaxWorkers = 64
+
+// effectiveWorkers returns the clamped worker request.
+func (opts Options) effectiveWorkers() int {
+	if opts.Workers > MaxWorkers {
+		return MaxWorkers
+	}
+	return opts.Workers
+}
+
+// executor resolves the pool a parallel refinement fans out on: the caller's
+// shared scheduler when one was provided, a transient one otherwise.
+func (opts Options) executor() *exec.Pool {
+	if opts.Pool != nil {
+		return opts.Pool
+	}
+	return exec.NewPool(opts.effectiveWorkers(), 0)
 }
 
 // Errors returned on invalid queries.

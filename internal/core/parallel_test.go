@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
+
+	"repro/internal/geom"
 )
 
 // TestParallelMatchesSequential verifies that concurrent verification
@@ -33,6 +37,239 @@ func TestParallelMatchesSequential(t *testing.T) {
 					trial, workers, par, seq)
 			}
 		}
+	}
+}
+
+// cellSlack returns the minimum constraint slack of w in the cell — positive
+// when w is strictly inside.
+func cellSlack(c *CellResult, w []float64) float64 {
+	s := math.Inf(1)
+	for _, h := range c.Constraints {
+		if e := h.Eval(w); e < s {
+			s = e
+		}
+	}
+	return s
+}
+
+// locateCell returns the cell of the partitioning containing w (the one with
+// the largest minimum slack), or nil when no cell contains it.
+func locateCell(cells []CellResult, w []float64) *CellResult {
+	var best *CellResult
+	bestSlack := -1e-9
+	for i := range cells {
+		if s := cellSlack(&cells[i], w); s > bestSlack {
+			best, bestSlack = &cells[i], s
+		}
+	}
+	return best
+}
+
+func uniqueTopKSets(cells []CellResult) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range cells {
+		out[fmt.Sprint(c.TopK)] = true
+	}
+	return out
+}
+
+func unionIDs(cells []CellResult) []int {
+	seen := map[int]bool{}
+	for _, c := range cells {
+		for _, id := range c.TopK {
+			seen[id] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func randomPointIn(rng *rand.Rand, r *geom.Region) []float64 {
+	lo, hi := r.Bounds()
+	w := make([]float64, len(lo))
+	for i := range w {
+		w[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	}
+	return w
+}
+
+// TestParallelJAAMatchesSequential is the decomposition differential: for
+// every (dimension, worker count) configuration the parallel UTK2 run must be
+// an exact partitioning with the sequential run's answer — same UTK1 id
+// union, same unique top-k sets, every parallel cell's top-k set confirmed by
+// brute force at its interior point, and random probe points landing in
+// cells that agree between the two partitionings and with brute force.
+func TestParallelJAAMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	for trial := 0; trial < 6; trial++ {
+		d := 2 + trial%4 // data dimensionality 2–5
+		data := randomData(rng, 220, d)
+		tree := buildTree(t, data)
+		r := randomBox(rng, d-1)
+		k := 1 + rng.Intn(6)
+		seq, _, err := JAA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqSets := uniqueTopKSets(seq)
+		seqIDs := unionIDs(seq)
+		probes := make([][]float64, 24)
+		for i := range probes {
+			probes[i] = randomPointIn(rng, r)
+		}
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			workers := workers
+			t.Run(fmt.Sprintf("seed=900/trial=%d/d=%d/k=%d/W=%d", trial, d, k, workers), func(t *testing.T) {
+				par, st, err := JAA(tree, r, k, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers > 1 && st.Candidates > k && st.EffectiveWorkers != workers {
+					// The single-cell fast path (candidates ≤ k) legitimately
+					// reports one worker; any decomposed box run must honor W.
+					t.Errorf("EffectiveWorkers = %d, want %d (box regions always split)", st.EffectiveWorkers, workers)
+				}
+				if got := unionIDs(par); !equalIDs(got, seqIDs) {
+					t.Fatalf("UTK1 union %v != sequential %v", got, seqIDs)
+				}
+				parSets := uniqueTopKSets(par)
+				if len(parSets) != len(seqSets) {
+					t.Fatalf("unique top-k sets: %d parallel vs %d sequential", len(parSets), len(seqSets))
+				}
+				for s := range parSets {
+					if !seqSets[s] {
+						t.Fatalf("parallel top-k set %s missing from sequential run", s)
+					}
+				}
+				// Ground truth at every parallel cell's interior.
+				for i := range par {
+					want := topKBrute(data, par[i].Interior, k)
+					if !equalIDs(par[i].TopK, want) {
+						t.Fatalf("cell %d at %v: top-k %v, brute force %v", i, par[i].Interior, par[i].TopK, want)
+					}
+					if par[i].BoxLo != nil {
+						for j, w := range par[i].Interior {
+							if w < par[i].BoxLo[j]-1e-9 || w > par[i].BoxHi[j]+1e-9 {
+								t.Fatalf("cell %d interior outside its own bounding box", i)
+							}
+						}
+					}
+				}
+				// Coverage + pointwise agreement at random probes.
+				for _, w := range probes {
+					pc := locateCell(par, w)
+					sc := locateCell(seq, w)
+					if pc == nil || sc == nil {
+						t.Fatalf("probe %v not covered (parallel %v, sequential %v)", w, pc != nil, sc != nil)
+					}
+					if !equalIDs(pc.TopK, sc.TopK) {
+						t.Fatalf("probe %v: parallel top-k %v != sequential %v", w, pc.TopK, sc.TopK)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelJAADeterministic pins that a fixed (region, workers) pair
+// yields a bit-identical partitioning on repeated runs — the property the
+// serving layers' caches rely on.
+func TestParallelJAADeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	data := randomData(rng, 300, 4)
+	tree := buildTree(t, data)
+	r := randomBox(rng, 3)
+	a, _, err := JAA(tree, r, 5, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := JAA(tree, r, 5, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs emitted %d vs %d cells", len(a), len(b))
+	}
+	for i := range a {
+		if !equalIDs(a[i].TopK, b[i].TopK) || fmt.Sprint(a[i].Constraints) != fmt.Sprint(b[i].Constraints) {
+			t.Fatalf("cell %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestParallelJAAPolytopeRegion exercises the general-region split path (the
+// box fast path is covered by the differential above).
+func TestParallelJAAPolytopeRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	data := randomData(rng, 200, 3)
+	tree := buildTree(t, data)
+	r, err := geom.NewPolytope(2, []geom.Halfspace{
+		{A: []float64{1, 0}, B: 0.1},
+		{A: []float64{-1, 0}, B: -0.5},
+		{A: []float64{0, 1}, B: 0.1},
+		{A: []float64{-1, -1}, B: -0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := JAA(tree, r, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := JAA(tree, r, 4, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EffectiveWorkers < 2 {
+		t.Fatalf("polytope region did not decompose: EffectiveWorkers = %d", st.EffectiveWorkers)
+	}
+	if got, want := unionIDs(par), unionIDs(seq); !equalIDs(got, want) {
+		t.Fatalf("UTK1 union %v != sequential %v", got, want)
+	}
+	for i := range par {
+		want := topKBrute(data, par[i].Interior, 4)
+		if !equalIDs(par[i].TopK, want) {
+			t.Fatalf("cell %d: top-k %v, brute force %v", i, par[i].TopK, want)
+		}
+	}
+}
+
+// TestWorkersClamped pins the MaxWorkers safety cap: a pathological worker
+// request must not amplify into millions of decomposition pieces or tasks,
+// and the stats must report the clamped concurrency.
+func TestWorkersClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	data := randomData(rng, 150, 3)
+	tree := buildTree(t, data)
+	r := randomBox(rng, 2)
+	seq, _, err := JAA(tree, r, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, st, err := JAA(tree, r, 3, Options{Workers: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates > 3 && st.EffectiveWorkers != MaxWorkers {
+		t.Fatalf("EffectiveWorkers = %d, want the MaxWorkers clamp %d", st.EffectiveWorkers, MaxWorkers)
+	}
+	if got, want := unionIDs(cells), unionIDs(seq); !equalIDs(got, want) {
+		t.Fatalf("clamped run union %v != sequential %v", got, want)
+	}
+	ids, st1, err := RSA(tree, r, 3, Options{Workers: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Candidates > 3 && st1.EffectiveWorkers != MaxWorkers {
+		t.Fatalf("RSA EffectiveWorkers = %d, want %d", st1.EffectiveWorkers, MaxWorkers)
+	}
+	sort.Ints(ids)
+	if want := unionIDs(seq); !equalIDs(ids, want) {
+		t.Fatalf("clamped RSA %v != sequential union %v", ids, want)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +47,7 @@ func RSAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 			st.PeakBytes = pb
 		}
 	}()
+	opts.Workers = opts.effectiveWorkers()
 	n := g.Len()
 	st.Candidates = n
 	st.EffectiveWorkers = 1 // trivial answers below never fan out
@@ -116,30 +118,30 @@ func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *St
 	return verified, rf.stopped
 }
 
-// rsaParallel fans candidate verification out to opts.Workers goroutines.
-// Shared state is limited to the verified/active sets (mutex-guarded
-// snapshots); each worker owns a refiner, so half-space caches and
-// arrangement counters never contend. Verdicts are interleaving-independent
-// (see Options.Workers), so the result set equals the sequential one.
+// rsaParallel fans candidate verification out to opts.Workers tasks on the
+// executor (the caller's shared scheduler, or a transient one). Shared state
+// is limited to the verified/active sets (mutex-guarded snapshots); each
+// task owns a refiner, so half-space caches and arrangement counters never
+// contend. Verdicts are interleaving-independent (see Options.Workers), so
+// the result set equals the sequential one.
 func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats, order []int) (bitset.Set, bool) {
 	n := g.Len()
 	var mu sync.Mutex
 	active := fullSet(n)
 	verified := bitset.New(n)
 	next := 0
-	var wg sync.WaitGroup
 	workerStats := make([]*Stats, opts.Workers)
 	stopped := make([]bool, opts.Workers)
+	grp := opts.executor().NewGroup(nil)
 	for wi := 0; wi < opts.Workers; wi++ {
-		wg.Add(1)
+		wi := wi
 		workerStats[wi] = &Stats{}
-		go func(wi int, ws *Stats) {
-			defer wg.Done()
-			rf := newRefiner(g, r, k, opts, ws)
+		grp.Go(func(context.Context) error {
+			rf := newRefiner(g, r, k, opts, workerStats[wi])
 			defer func() { stopped[wi] = rf.stopped }()
 			for {
 				if rf.stop() {
-					return
+					return nil
 				}
 				mu.Lock()
 				var p = -1
@@ -153,7 +155,7 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 				}
 				if p < 0 {
 					mu.Unlock()
-					return
+					return nil
 				}
 				snapshot := active.Clone()
 				mu.Unlock()
@@ -172,23 +174,15 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 				}
 				mu.Unlock()
 			}
-		}(wi, workerStats[wi])
+		})
 	}
-	wg.Wait()
+	_ = grp.Wait() // tasks report cancellation through stopped, not errors
 	anyStopped := false
 	for _, s := range stopped {
 		anyStopped = anyStopped || s
 	}
 	for _, ws := range workerStats {
-		st.Drills += ws.Drills
-		st.DrillHits += ws.DrillHits
-		st.VerifyCalls += ws.VerifyCalls
-		st.Arrangement.LPCalls += ws.Arrangement.LPCalls
-		st.Arrangement.CellSplits += ws.Arrangement.CellSplits
-		if ws.Arrangement.PeakCells > st.Arrangement.PeakCells {
-			st.Arrangement.PeakCells = ws.Arrangement.PeakCells
-		}
-		st.Arrangement.PeakBytes += ws.Arrangement.PeakBytes
+		st.Merge(ws)
 	}
 	return verified, anyStopped
 }

@@ -12,11 +12,14 @@ import (
 
 // fingerprint canonicalizes a query into a cache key. Two queries share a key
 // iff they ask for the same variant, the same k, the same ablation switches,
-// and geometrically the same region. Region canonicalization normalizes every
-// bounding half-space to unit length and sorts them, so the same polytope
-// described with rescaled or reordered half-spaces maps to one key; the float
-// bits are used exactly, so any numeric perturbation of the region is a miss
-// (never a false hit).
+// the same worker count, and geometrically the same region. Workers
+// participates because a decomposed UTK2 run may carve its (exact) cells
+// differently than a sequential one — keying per worker setting keeps every
+// cached answer byte-deterministic for its request shape. Region
+// canonicalization normalizes every bounding half-space to unit length and
+// sorts them, so the same polytope described with rescaled or reordered
+// half-spaces maps to one key; the float bits are used exactly, so any
+// numeric perturbation of the region is a miss (never a false hit).
 func fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 	return Fingerprint(v, k, r, opts)
 }
@@ -43,9 +46,16 @@ func Fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 	}
 	sort.Slice(rows, func(a, b int) bool { return string(rows[a]) < string(rows[b]) })
 
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1 // 0 and 1 both mean sequential refinement
+	}
+	if workers > core.MaxWorkers {
+		workers = core.MaxWorkers // execution clamps here too, so keys match behavior
+	}
 	key := make([]byte, 0, 16+len(rows)*(r.Dim()+1)*8)
 	key = append(key, byte(v), byte(k), byte(k>>8), byte(k>>16))
-	key = append(key, optionFlags(opts))
+	key = append(key, optionFlags(opts), byte(workers), byte(workers>>8))
 	for _, row := range rows {
 		key = append(key, row...)
 	}

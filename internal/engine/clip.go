@@ -63,7 +63,7 @@ func DeriveClipped(req Request, src *Result) *Result {
 			if covered(c) {
 				continue
 			}
-			if rescache.CellIntersects(dim, c.Constraints, c.Interior, req.Region) {
+			if rescache.CellIntersects(dim, c.Constraints, c.Interior, c.BoxLo, c.BoxHi, req.Region) {
 				for _, id := range c.TopK {
 					ids[id] = true
 				}
@@ -78,13 +78,21 @@ func DeriveClipped(req Request, src *Result) *Result {
 		}
 		sort.Ints(res.IDs)
 	case UTK2:
+		// The clipped cell inherits a sound outer box: it is contained in
+		// both the source cell (so in its box) and in the query region (so
+		// in the region's outer box); the intersection of the two bounds it.
+		rlo, rhi := req.Region.OuterBox()
 		var cells []core.CellResult
 		for _, c := range src.Cells {
-			cons, interior, ok := rescache.ClipCell(dim, c.Constraints, c.Interior, req.Region)
+			cons, interior, ok := rescache.ClipCell(dim, c.Constraints, c.Interior, c.BoxLo, c.BoxHi, req.Region)
 			if !ok {
 				continue
 			}
-			cells = append(cells, core.CellResult{Constraints: cons, Interior: interior, TopK: c.TopK})
+			cell := core.CellResult{Constraints: cons, Interior: interior, TopK: c.TopK}
+			if rlo != nil {
+				cell.BoxLo, cell.BoxHi = geom.IntersectBoxes(c.BoxLo, c.BoxHi, rlo, rhi)
+			}
+			cells = append(cells, cell)
 		}
 		if len(cells) == 0 {
 			return nil

@@ -33,10 +33,14 @@
 //     and an exact miss whose region lies inside a cached UTK2 region is
 //     answered by cell clipping (see DeriveClipped) instead of recomputing:
 //     exact, with zero refinement work.
-//  4. A bounded worker pool with per-query deadlines; the deadline (and a
-//     superseded-epoch check) is threaded into the refinement recursion via
-//     core.Options.Cancel, so an expired or stale query frees its worker
-//     slot promptly instead of running to completion.
+//  4. A bounded executor (the shared internal/exec scheduler) with per-query
+//     deadlines; the deadline (and a superseded-epoch check) is threaded into
+//     the refinement recursion via core.Options.Cancel, so an expired or
+//     stale query frees its worker slot promptly instead of running to
+//     completion. Queries requesting intra-query parallelism
+//     (Request.Opts.Workers > 1) fan their refinement subtasks out on the
+//     same executor, and a configurable queue bound turns overload into
+//     ErrSaturated backpressure instead of unbounded queueing.
 package engine
 
 import (
@@ -51,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/skyband"
@@ -72,6 +77,10 @@ var (
 	ErrNilRegion     = errors.New("engine: query requires a region")
 	ErrUnknownRecord = errors.New("engine: record id is not live")
 	ErrBadUpdate     = errors.New("engine: invalid update operation")
+	// ErrSaturated reports that the executor's queue was at its configured
+	// bound (Config.MaxQueued) when the query arrived — the backpressure
+	// signal serving layers turn into 429 responses.
+	ErrSaturated = errors.New("engine: executor queue saturated")
 )
 
 // errAborted marks a flight whose leader gave up (context expiry) before the
@@ -90,9 +99,16 @@ type Config struct {
 	ShadowDepth int
 	// CacheEntries bounds the result cache; 0 disables caching.
 	CacheEntries int
-	// Workers bounds the number of concurrently executing queries; values
-	// below 1 default to runtime.GOMAXPROCS(0).
+	// Workers bounds the engine's executor (an internal/exec pool): at most
+	// this many tasks — queries, and the refinement subtasks of queries that
+	// request intra-query parallelism via Request.Opts.Workers — execute at
+	// a time. Values below 1 default to runtime.GOMAXPROCS(0).
 	Workers int
+	// MaxQueued bounds how many queries may wait for an executor slot before
+	// new arrivals are rejected with ErrSaturated: 0 means unbounded (no
+	// backpressure), negative means no queue at all (reject whenever every
+	// worker is busy), positive is the bound itself.
+	MaxQueued int
 	// QueryTimeout, when positive, is the deadline applied to queries whose
 	// context carries none. The deadline covers queueing for a worker slot,
 	// waiting on a deduplicated in-flight computation, and — through the
@@ -106,10 +122,14 @@ type Request struct {
 	Variant Variant
 	K       int
 	Region  *geom.Region
-	// Opts forwards the algorithm switches. Workers is ignored here — the
-	// engine's own pool provides the concurrency — and Cancel is overwritten
-	// by the engine's deadline/epoch hook; the ablation flags participate in
-	// the cache fingerprint.
+	// Opts forwards the algorithm switches. Workers > 1 requests intra-query
+	// parallel refinement (RSA candidate verification, JAA region
+	// decomposition), fanned out on the engine's own executor so one pool
+	// governs all concurrency. Cancel is overwritten by the engine's
+	// deadline/epoch hook; the ablation flags and Workers participate in the
+	// cache fingerprint (decomposed UTK2 answers are exact but may carve
+	// cells differently than sequential ones, so each worker setting caches
+	// its own deterministic answer). Pool is overwritten by the engine.
 	Opts core.Options
 }
 
@@ -157,13 +177,17 @@ type Stats struct {
 	// where the cost-aware policy picked a different victim than plain LRU
 	// would have. Invalidations counts cache entries evicted because an
 	// update could affect them. Rejected counts queries that gave up
-	// (deadline or cancellation) before obtaining a result.
+	// (deadline or cancellation) before obtaining a result. Saturated counts
+	// queries refused at the executor's queue bound (Config.MaxQueued).
 	Evictions     uint64
 	CostEvictions uint64
 	Invalidations uint64
 	Rejected      uint64
-	// InFlight is the number of computations executing right now.
+	Saturated     uint64
+	// InFlight is the number of query computations executing right now;
+	// Queued is the number of tasks waiting for an executor slot.
 	InFlight int
+	Queued   int
 	// CacheEntries is the current cache population.
 	CacheEntries int
 	// Epoch is the current index version; it advances whenever an update
@@ -270,7 +294,7 @@ type Engine struct {
 	cfg Config
 	dim int
 
-	sem chan struct{} // worker slots
+	pool *exec.Pool // the executor: query dispatch + intra-query fan-out
 
 	// updMu serializes updates and guards dyn. Queries never take it: they
 	// read the epoch-versioned index snapshot below.
@@ -295,6 +319,7 @@ type Engine struct {
 	costEvicted   uint64
 	invalidations uint64
 	rejected      uint64
+	saturated     uint64
 	batches       uint64
 	active        int
 }
@@ -319,7 +344,7 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:      cfg,
 		dim:      t.Dim(),
-		sem:      make(chan struct{}, cfg.Workers),
+		pool:     exec.NewPool(cfg.Workers, cfg.MaxQueued),
 		inflight: make(map[string]*flight),
 	}
 	if cfg.CacheEntries > 0 {
@@ -760,32 +785,34 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 			e.mu.Unlock()
 		}
 
-		// The explicit pre-check keeps an already-expired context from
-		// racing a free worker slot in the select below.
-		acquired := false
-		if ctx.Err() == nil {
-			select {
-			case e.sem <- struct{}{}:
-				acquired = true
-			case <-ctx.Done():
-			}
-		}
-		if !acquired {
+		// Dispatch through the executor. Run rejects immediately at the
+		// queue bound (saturation → backpressure) and revokes the task if
+		// the context dies while it is still queued; once the computation
+		// has started, the deadline is honored from inside via the Cancel
+		// hook.
+		var res *Result
+		var err error
+		runErr := e.pool.Run(ctx, func() {
+			e.mu.Lock()
+			e.active++
+			e.mu.Unlock()
+			res, err = e.compute(ctx, req, ix, supersedeRetries > 0)
+			e.mu.Lock()
+			e.active--
+			e.mu.Unlock()
+		})
+		if runErr != nil {
 			e.finish(flKey, key, fl, nil, errAborted, req)
 			e.mu.Lock()
-			e.rejected++
+			if errors.Is(runErr, exec.ErrSaturated) {
+				e.saturated++
+				runErr = ErrSaturated
+			} else {
+				e.rejected++
+			}
 			e.mu.Unlock()
-			return nil, ctx.Err()
+			return nil, runErr
 		}
-		e.mu.Lock()
-		e.active++
-		e.mu.Unlock()
-
-		res, err := e.compute(ctx, req, ix, supersedeRetries > 0)
-		e.mu.Lock()
-		e.active--
-		e.mu.Unlock()
-		<-e.sem
 
 		if errors.Is(err, core.ErrCanceled) {
 			// Either way the waiters re-elect rather than inheriting this
@@ -851,7 +878,9 @@ func (e *Engine) Stats() Stats {
 		CostEvictions:   e.costEvicted,
 		Invalidations:   e.invalidations,
 		Rejected:        e.rejected,
+		Saturated:       e.saturated,
 		InFlight:        e.active,
+		Queued:          e.pool.Queued(),
 		Epoch:           epoch,
 		Live:            ds.Live,
 		SupersetSize:    ds.Band,
@@ -897,7 +926,10 @@ func (e *Engine) validate(req Request) error {
 func (e *Engine) compute(ctx context.Context, req Request, ix *index, abortOnSupersede bool) (*Result, error) {
 	st := &core.Stats{}
 	opts := req.Opts
-	opts.Workers = 0 // concurrency comes from the engine pool
+	// Intra-query parallelism (Opts.Workers > 1) fans out on the engine's
+	// own executor, so inter-query and intra-query concurrency share one
+	// worker budget.
+	opts.Pool = e.pool
 	done := ctx.Done()
 	opts.Cancel = func() bool {
 		select {

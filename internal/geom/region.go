@@ -84,6 +84,23 @@ func NewPolytope(dim int, halfspaces []Halfspace) (*Region, error) {
 		all = append(all, h.Clone())
 	}
 	all = append(all, SimplexHalfspaces(dim)...)
+	// Exact duplicates change nothing geometrically and would otherwise
+	// accumulate when regions are built from other regions' half-space lists
+	// (recursive splitting re-adds the simplex rows each level).
+	dedup := all[:0]
+	for _, h := range all {
+		seen := false
+		for _, have := range dedup {
+			if sameHalfspace(have, h) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dedup = append(dedup, h)
+		}
+	}
+	all = dedup
 	verts := EnumerateVertices(dim, all)
 	if len(verts) <= dim {
 		return nil, ErrEmptyRegion

@@ -1,0 +1,176 @@
+package geom
+
+import "sort"
+
+// OuterBox returns a sound outer bounding box of the region: the
+// componentwise extremes of its vertices (exact for convex regions, whose
+// extreme points are vertices). Boxes return their own corners.
+func (r *Region) OuterBox() (lo, hi []float64) {
+	if r.isBox {
+		return append([]float64(nil), r.lo...), append([]float64(nil), r.hi...)
+	}
+	if len(r.vertices) == 0 {
+		return nil, nil
+	}
+	lo = append([]float64(nil), r.vertices[0]...)
+	hi = append([]float64(nil), r.vertices[0]...)
+	for _, v := range r.vertices[1:] {
+		for i, c := range v {
+			if c < lo[i] {
+				lo[i] = c
+			}
+			if c > hi[i] {
+				hi[i] = c
+			}
+		}
+	}
+	return lo, hi
+}
+
+// IntersectBoxes returns the componentwise intersection of two boxes, either
+// of which may be nil (nil acts as the whole space). The result is nil when
+// both inputs are.
+func IntersectBoxes(alo, ahi, blo, bhi []float64) (lo, hi []float64) {
+	switch {
+	case alo == nil:
+		return append([]float64(nil), blo...), append([]float64(nil), bhi...)
+	case blo == nil:
+		return append([]float64(nil), alo...), append([]float64(nil), ahi...)
+	}
+	lo = make([]float64, len(alo))
+	hi = make([]float64, len(ahi))
+	for i := range alo {
+		lo[i] = alo[i]
+		if blo[i] > lo[i] {
+			lo[i] = blo[i]
+		}
+		hi[i] = ahi[i]
+		if bhi[i] < hi[i] {
+			hi[i] = bhi[i]
+		}
+	}
+	return lo, hi
+}
+
+// SplitRegion partitions r into at most n full-dimensional subregions by
+// recursive longest-axis bisection: the piece with the longest bounding-box
+// side is cut at that side's midpoint by an axis-parallel hyperplane, and the
+// two halves are r ∩ {w_a ≥ m} and r ∩ {w_a ≤ m}. The subregions cover r
+// exactly (they overlap only in the measure-zero seam hyperplanes), which is
+// what makes per-subregion JAA an exact decomposition of the full run.
+//
+// The second return value lists the seam cuts as the positive-side
+// half-space of each distinct cut ({A: e_axis, B: m}); consumers use them to
+// recognize — and coalesce — cell fragments that were split purely by a
+// seam. Both sides of a cut carry bit-identical ±(A, B), so seam pairs are
+// detectable by exact negation.
+//
+// Regions that cannot be split (n < 2, vertex-only regions without an
+// H-representation, or pieces whose halves degenerate numerically) are
+// returned as fewer pieces — possibly just {r}. Box regions split into
+// boxes; general polytopes split by constraint intersection.
+func SplitRegion(r *Region, n int) ([]*Region, []Halfspace) {
+	if n < 2 || (!r.isBox && len(r.halfspaces) == 0) {
+		return []*Region{r}, nil
+	}
+	pieces := []*Region{r}
+	var seams []Halfspace
+	for len(pieces) < n {
+		// Pick the splittable piece with the longest bounding-box side.
+		best, bestAxis, bestExtent := -1, -1, 0.0
+		for i, p := range pieces {
+			lo, hi := p.OuterBox()
+			if lo == nil {
+				continue
+			}
+			for a := range lo {
+				if ext := hi[a] - lo[a]; ext > bestExtent {
+					best, bestAxis, bestExtent = i, a, ext
+				}
+			}
+		}
+		// Nothing splittable, or every remaining side is numerically too thin
+		// to yield two full-dimensional halves.
+		if best < 0 || bestExtent < 8*Eps {
+			break
+		}
+		p := pieces[best]
+		lo, hi := p.OuterBox()
+		mid := (lo[bestAxis] + hi[bestAxis]) / 2
+		left, right, ok := splitAt(p, bestAxis, mid)
+		if !ok {
+			// Degenerate halves: stop splitting this piece by removing it from
+			// consideration would complicate bookkeeping; just stop — the
+			// callers handle fewer pieces than requested.
+			break
+		}
+		pieces[best] = left
+		pieces = append(pieces, right)
+		seams = appendSeam(seams, bestAxis, mid, p.Dim())
+	}
+	// Deterministic order: sort pieces by their bounding-box lower corner so
+	// the decomposition — and everything downstream, including the stitched
+	// cell order — is independent of the split sequence.
+	sort.SliceStable(pieces, func(a, b int) bool {
+		alo, _ := pieces[a].OuterBox()
+		blo, _ := pieces[b].OuterBox()
+		for i := range alo {
+			if alo[i] != blo[i] {
+				return alo[i] < blo[i]
+			}
+		}
+		return false
+	})
+	return pieces, seams
+}
+
+// splitAt cuts one piece at w[axis] = m, returning the two halves. ok is
+// false when either half fails to be full-dimensional.
+func splitAt(p *Region, axis int, m float64) (left, right *Region, ok bool) {
+	dim := p.Dim()
+	if p.isBox {
+		lo, hi := p.Bounds()
+		llo, lhi := append([]float64(nil), lo...), append([]float64(nil), hi...)
+		rlo, rhi := append([]float64(nil), lo...), append([]float64(nil), hi...)
+		lhi[axis] = m
+		rlo[axis] = m
+		l, errL := NewBox(llo, lhi)
+		r, errR := NewBox(rlo, rhi)
+		if errL != nil || errR != nil {
+			return nil, nil, false
+		}
+		return l, r, true
+	}
+	pos := Halfspace{A: make([]float64, dim), B: m} // w[axis] ≥ m
+	pos.A[axis] = 1
+	neg := Halfspace{A: make([]float64, dim), B: -m} // w[axis] ≤ m
+	neg.A[axis] = -1
+	base := p.Halfspaces()
+	l, errL := NewPolytope(dim, append(append([]Halfspace{}, base...), neg))
+	r, errR := NewPolytope(dim, append(append([]Halfspace{}, base...), pos))
+	if errL != nil || errR != nil {
+		return nil, nil, false
+	}
+	return l, r, true
+}
+
+// appendSeam records a distinct cut.
+func appendSeam(seams []Halfspace, axis int, m float64, dim int) []Halfspace {
+	for _, s := range seams {
+		if s.B == m && s.A[axis] == 1 {
+			same := true
+			for i, a := range s.A {
+				if (i == axis) != (a != 0) {
+					same = false
+					break
+				}
+			}
+			if same {
+				return seams
+			}
+		}
+	}
+	h := Halfspace{A: make([]float64, dim), B: m}
+	h.A[axis] = 1
+	return append(seams, h)
+}

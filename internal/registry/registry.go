@@ -32,11 +32,12 @@ type Options struct {
 	Shards int
 	// MaxK is the largest top-k depth served (required, positive).
 	MaxK int
-	// ShadowDepth, CacheEntries, Workers, and QueryTimeout forward to
-	// utk.EngineConfig with its defaults.
+	// ShadowDepth, CacheEntries, Workers, MaxQueued, and QueryTimeout
+	// forward to utk.EngineConfig with its defaults.
 	ShadowDepth  int
 	CacheEntries int
 	Workers      int
+	MaxQueued    int
 	QueryTimeout time.Duration
 }
 
@@ -103,6 +104,7 @@ func (r *Registry) Create(name string, records [][]float64, opts Options) (*Entr
 		ShadowDepth:  opts.ShadowDepth,
 		CacheEntries: opts.CacheEntries,
 		Workers:      opts.Workers,
+		MaxQueued:    opts.MaxQueued,
 		QueryTimeout: opts.QueryTimeout,
 	}
 	var eng *utk.Engine
@@ -208,7 +210,9 @@ type AggregateStats struct {
 	CostEvictions uint64
 	Invalidations uint64
 	Rejected      uint64
+	Saturated     uint64
 	InFlight      int
+	Queued        int
 	CacheEntries  int
 	Live          int
 	Inserts       uint64
@@ -241,7 +245,9 @@ func (r *Registry) Stats() AggregateStats {
 		agg.CostEvictions += st.CostEvictions
 		agg.Invalidations += st.Invalidations
 		agg.Rejected += st.Rejected
+		agg.Saturated += st.Saturated
 		agg.InFlight += st.InFlight
+		agg.Queued += st.Queued
 		agg.CacheEntries += st.CacheEntries
 		agg.Live += st.Live
 		agg.Inserts += st.Inserts

@@ -228,6 +228,12 @@ func (c *Cache) remove(e *entry) {
 // its own cells), in which case the cell contributes nothing to the clipped
 // answer.
 //
+// boxLo/boxHi, when non-nil, are a sound outer bounding box of the cell the
+// caller already holds (JAA computes one per cell at emit time); the box
+// classification fast path then runs without re-deriving bounds, so sliver
+// cells whose box misses r skip their clip LPs with no propagation work at
+// all. Passing nil recomputes the bounds here.
+//
 // This is the geometric core of containment-based reuse: the top-k order is
 // constant within a UTK2 cell, so for R ⊆ R' the non-empty intersections
 // {C ∩ R : C ∈ UTK2(R')} partition R with unchanged top-k sets — an exact
@@ -236,8 +242,8 @@ func (c *Cache) remove(e *entry) {
 // around it then lies in both bodies, so the intersection is
 // full-dimensional and the point remains interior); only cells straddling
 // r's boundary pay for an LP.
-func ClipCell(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region) ([]geom.Halfspace, []float64, bool) {
-	pt, ok := clipInterior(dim, cons, interior, r)
+func ClipCell(dim int, cons []geom.Halfspace, interior []float64, boxLo, boxHi []float64, r *geom.Region) ([]geom.Halfspace, []float64, bool) {
+	pt, ok := clipInterior(dim, cons, interior, boxLo, boxHi, r)
 	if !ok {
 		return nil, nil, false
 	}
@@ -247,40 +253,53 @@ func ClipCell(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region
 // CellIntersects reports whether the cell has a full-dimensional
 // intersection with r, without materializing the clipped constraint set —
 // the allocation-light form UTK1 derivation uses, where only the surviving
-// cells' id sets matter.
-func CellIntersects(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region) bool {
-	_, ok := clipInterior(dim, cons, interior, r)
+// cells' id sets matter. boxLo/boxHi are as in ClipCell.
+func CellIntersects(dim int, cons []geom.Halfspace, interior []float64, boxLo, boxHi []float64, r *geom.Region) bool {
+	_, ok := clipInterior(dim, cons, interior, boxLo, boxHi, r)
 	return ok
 }
 
 // clipInterior decides whether cell ∩ r is full-dimensional and returns a
 // strictly interior point of the intersection.
-func clipInterior(dim int, cons []geom.Halfspace, interior []float64, r *geom.Region) ([]float64, bool) {
+func clipInterior(dim int, cons []geom.Halfspace, interior []float64, boxLo, boxHi []float64, r *geom.Region) ([]float64, bool) {
 	if !r.HasHRep() {
 		// A vertex-only region has no half-spaces to clip against; treating
 		// the cell as surviving unclipped would be a wrong (superset)
 		// answer, so refuse every cell — callers fall back to computing.
 		return nil, false
 	}
-	// Cheapest test first: in a near-miss workload most cells' own interior
-	// points already lie strictly inside r, which certifies a
-	// full-dimensional intersection with the point still valid —
-	// allocation-free, no LP.
-	if r.InteriorBy(interior, lp.SlackEps) {
-		return interior, true
-	}
-	// Next, a sound outer bounding box of the cell (interval propagation
-	// over its constraints, no LP) classifies most remaining cells outright:
-	// fully outside r drops the cell, fully inside keeps it as-is. Only
-	// cells whose bound straddles r's boundary go on to the clamp fast path
-	// and, last, the LP.
-	blo, bhi, bounded := geom.ConstraintBounds(dim, cons, 24)
+	// Cheapest test first: a precomputed cell box classifies most cells in
+	// O(m·dim) with no propagation, no allocation, and no LP — in
+	// particular, sliver cells whose box already misses r are dropped
+	// outright.
+	blo, bhi, bounded := boxLo, boxHi, boxLo != nil
 	if bounded {
 		switch r.ClassifyBox(blo, bhi) {
 		case geom.Outside:
 			return nil, false
 		case geom.Inside:
 			return interior, true
+		}
+	}
+	// In a near-miss workload most remaining cells' own interior points
+	// already lie strictly inside r, which certifies a full-dimensional
+	// intersection with the point still valid — allocation-free, no LP.
+	if r.InteriorBy(interior, lp.SlackEps) {
+		return interior, true
+	}
+	// Without a precomputed box, derive a sound outer bounding box of the
+	// cell (interval propagation over its constraints, no LP) and classify.
+	// Only cells whose bound straddles r's boundary go on to the clamp fast
+	// path and, last, the LP.
+	if !bounded {
+		blo, bhi, bounded = geom.ConstraintBounds(dim, cons, 24)
+		if bounded {
+			switch r.ClassifyBox(blo, bhi) {
+			case geom.Outside:
+				return nil, false
+			case geom.Inside:
+				return interior, true
+			}
 		}
 	}
 	// Second fast path, for box regions (the common case): clamp the cell's

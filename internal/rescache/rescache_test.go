@@ -207,7 +207,7 @@ func TestClipCell(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cons := tc.cell.Halfspaces()
 			interior := tc.cell.Pivot()
-			clipped, pt, ok := ClipCell(2, cons, interior, clip)
+			clipped, pt, ok := ClipCell(2, cons, interior, nil, nil, clip)
 			if ok != tc.keep {
 				t.Fatalf("ok = %v, want %v", ok, tc.keep)
 			}
@@ -229,7 +229,7 @@ func TestClipCell(t *testing.T) {
 			}
 			// Clipping against the cell's own region must not duplicate
 			// constraints.
-			self, _, ok := ClipCell(2, cons, interior, tc.cell)
+			self, _, ok := ClipCell(2, cons, interior, nil, nil, tc.cell)
 			if !ok || len(self) != len(cons) {
 				t.Errorf("self-clip grew constraints: %d -> %d (ok=%v)", len(cons), len(self), ok)
 			}

@@ -31,8 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	utk "repro"
@@ -47,6 +49,12 @@ type Config struct {
 	// AllowCreate enables POST/DELETE /datasets/{name}. Serving deployments
 	// that pre-register their catalogs can keep the admin surface off.
 	AllowCreate bool
+	// LogRequests emits one structured log line per request (slog: method,
+	// path, dataset, variant, k, status, duration, and how the answer was
+	// served — hit/derived/computed) to Logger.
+	LogRequests bool
+	// Logger receives the request lines; nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // DefaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes is 0:
@@ -86,8 +94,80 @@ func New(reg *registry.Registry, cfg Config) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
-		mux.ServeHTTP(w, r)
+		if !cfg.LogRequests {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		logger := cfg.Logger
+		if logger == nil {
+			logger = slog.Default()
+		}
+		info := &reqInfo{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info)))
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(start)),
+		}
+		if info.dataset != "" {
+			attrs = append(attrs, slog.String("dataset", info.dataset))
+		}
+		if info.variant != "" {
+			attrs = append(attrs, slog.String("variant", info.variant))
+		}
+		if info.k > 0 {
+			attrs = append(attrs, slog.Int("k", info.k))
+		}
+		if info.served != "" {
+			attrs = append(attrs, slog.String("served", info.served))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
+}
+
+// reqInfo carries the query-shaped log fields handlers annotate for the
+// request-logging middleware; reqInfoKey is its context key.
+type reqInfo struct {
+	dataset string
+	variant string
+	k       int
+	served  string // hit | derived | computed
+}
+
+type reqInfoKey struct{}
+
+// note returns the request's log annotation slot — a dummy when logging is
+// off, so handlers annotate unconditionally.
+func note(r *http.Request) *reqInfo {
+	if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return info
+	}
+	return &reqInfo{}
+}
+
+// servedLabel classifies how a query result was obtained.
+func servedLabel(cacheHit, derived bool) string {
+	switch {
+	case derived:
+		return "derived"
+	case cacheHit:
+		return "hit"
+	}
+	return "computed"
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // resolve maps the request's dataset path segment — or its absence, via the
@@ -180,15 +260,19 @@ func (s *Server) handleUTK1(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	info := note(r)
+	info.dataset, info.variant = ent.Name, "utk1"
 	q, ok := s.parseQuery(w, r, ent)
 	if !ok {
 		return
 	}
+	info.k = q.K
 	res, err := ent.Engine.UTK1(r.Context(), q)
 	if err != nil {
 		queryError(w, err)
 		return
 	}
+	info.served = servedLabel(res.CacheHit, res.Derived)
 	p := utk1Payload(res)
 	p["dataset"] = ent.Name
 	writeJSON(w, p)
@@ -228,15 +312,19 @@ func (s *Server) handleUTK2(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	info := note(r)
+	info.dataset, info.variant = ent.Name, "utk2"
 	q, ok := s.parseQuery(w, r, ent)
 	if !ok {
 		return
 	}
+	info.k = q.K
 	res, err := ent.Engine.UTK2(r.Context(), q)
 	if err != nil {
 		queryError(w, err)
 		return
 	}
+	info.served = servedLabel(res.CacheHit, res.Derived)
 	p := utk2Payload(res)
 	p["dataset"] = ent.Name
 	writeJSON(w, p)
@@ -384,7 +472,9 @@ func engineStatsPayload(st utk.EngineStats) map[string]any {
 		"cost_evictions":   st.CostEvictions,
 		"invalidations":    st.Invalidations,
 		"rejected":         st.Rejected,
+		"saturated":        st.Saturated,
 		"in_flight":        st.InFlight,
+		"queued":           st.Queued,
 		"cache_entries":    st.CacheEntries,
 		"epoch":            st.Epoch,
 		"live":             st.Live,
@@ -430,7 +520,9 @@ func (s *Server) handleStatsAll(w http.ResponseWriter, r *http.Request) {
 		"cost_evictions": agg.CostEvictions,
 		"invalidations":  agg.Invalidations,
 		"rejected":       agg.Rejected,
+		"saturated":      agg.Saturated,
 		"in_flight":      agg.InFlight,
+		"queued":         agg.Queued,
 		"cache_entries":  agg.CacheEntries,
 		"live":           agg.Live,
 		"inserts":        agg.Inserts,
@@ -459,6 +551,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("utk_datasets", "Registered serving engines.", agg.Datasets)
 	gauge("utk_shards", "Total horizontal partitions across engines.", agg.Shards)
 	gauge("utk_in_flight", "Computations executing right now.", agg.InFlight)
+	gauge("utk_queued", "Tasks waiting for an executor slot right now.", agg.Queued)
 	gauge("utk_cache_entries", "Resident result-cache entries.", agg.CacheEntries)
 
 	type series struct {
@@ -475,6 +568,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"utk_cache_cost_evictions_total", "Capacity evictions where the cost-aware policy overrode recency.", "counter", func(st utk.EngineStats) any { return st.CostEvictions }},
 		{"utk_cache_invalidations_total", "Cache entries evicted by update invalidation.", "counter", func(st utk.EngineStats) any { return st.Invalidations }},
 		{"utk_rejected_total", "Queries that gave up before obtaining a result.", "counter", func(st utk.EngineStats) any { return st.Rejected }},
+		{"utk_saturated_total", "Queries refused at the executor queue bound (429 backpressure).", "counter", func(st utk.EngineStats) any { return st.Saturated }},
 		{"utk_epoch", "Current index version.", "gauge", func(st utk.EngineStats) any { return st.Epoch }},
 		{"utk_live_records", "Live record population.", "gauge", func(st utk.EngineStats) any { return st.Live }},
 		{"utk_inserts_total", "Applied record inserts.", "counter", func(st utk.EngineStats) any { return st.Inserts }},
@@ -523,6 +617,7 @@ type createRequest struct {
 	Shadow    int         `json:"shadow"`
 	Cache     int         `json:"cache"`
 	Workers   int         `json:"workers"`
+	MaxQueued int         `json:"max_queued"`
 	TimeoutMS int         `json:"timeout_ms"`
 }
 
@@ -572,6 +667,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ShadowDepth:  req.Shadow,
 		CacheEntries: req.Cache,
 		Workers:      req.Workers,
+		MaxQueued:    req.MaxQueued,
 		QueryTimeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
@@ -603,9 +699,19 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"dropped": name})
 }
 
+// RetryAfterSeconds is the backoff hint sent with 429 responses when the
+// engine's executor queue is saturated.
+const RetryAfterSeconds = 1
+
 func queryError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, utk.ErrSaturated):
+		// Executor backpressure: ask the client to back off briefly rather
+		// than letting the queue grow without bound.
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
 	}
 	http.Error(w, err.Error(), status)

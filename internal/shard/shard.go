@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/skyband"
@@ -88,7 +89,7 @@ type Engine struct {
 
 	shards []*engine.Engine
 
-	sem chan struct{} // merge-layer worker slots
+	pool *exec.Pool // merge-layer executor: query dispatch + per-child fan-out
 
 	// updMu serializes updates; it also guards nextGlobal/nextShard and the
 	// owner table's writers.
@@ -128,6 +129,7 @@ type Engine struct {
 	costEvicted   uint64
 	invalidations uint64
 	rejected      uint64
+	saturated     uint64
 	batches       uint64
 	active        int
 }
@@ -177,6 +179,7 @@ func New(records [][]float64, cfg Config) (*Engine, error) {
 	childCfg := cfg.Engine
 	childCfg.CacheEntries = 0 // children never serve Do; the merge layer caches
 	childCfg.Workers = 1
+	childCfg.MaxQueued = 0 // backpressure belongs to the merge layer's executor
 	childCfg.QueryTimeout = 0
 	for sh, part := range parts {
 		tree, err := rtree.BulkLoad(part, rtree.DefaultFanout)
@@ -194,7 +197,7 @@ func New(records [][]float64, cfg Config) (*Engine, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s.sem = make(chan struct{}, workers)
+	s.pool = exec.NewPool(workers, cfg.Engine.MaxQueued)
 	if cfg.Engine.CacheEntries > 0 {
 		s.cache = engine.NewResultCache(cfg.Engine.CacheEntries)
 	}
@@ -512,19 +515,20 @@ func (s *Engine) invalidate(inserted map[int]place, deleted map[int]bool, delPro
 // unionBand collects every shard's MaxK-depth candidate list mapped to
 // global ids — the merge layer's superset of the global MaxK-skyband.
 func (s *Engine) unionBand() ([]int, [][]float64) {
+	collected := s.collectCandidates(s.cfg.Engine.MaxK)
 	var ids []int
 	var recs [][]float64
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	for sh, ch := range s.shards {
-		cids, crecs, _, err := ch.Candidates(s.cfg.Engine.MaxK)
-		if err != nil {
+	for sh := range s.shards {
+		c := &collected[sh]
+		if c.err != nil {
 			continue // unreachable: MaxK is always a valid depth
 		}
-		for _, lid := range cids {
+		for _, lid := range c.ids {
 			ids = append(ids, s.localToGlobal[sh][lid])
 		}
-		recs = append(recs, crecs...)
+		recs = append(recs, c.recs...)
 	}
 	return ids, recs
 }
@@ -590,6 +594,39 @@ func (s *Engine) currentMerged() *mergedIndex {
 	}
 }
 
+// childCandidates is one shard's candidate snapshot, as collected by the
+// per-child fan-out.
+type childCandidates struct {
+	ids   []int
+	recs  [][]float64
+	epoch uint64
+	err   error
+}
+
+// collectCandidates gathers every child's depth-k candidate list. With more
+// than one shard the collection fans out on the executor — the per-shard
+// background workers the merge layer runs cold collections on — so S cold
+// per-shard derivations overlap instead of running back to back.
+func (s *Engine) collectCandidates(k int) []childCandidates {
+	out := make([]childCandidates, len(s.shards))
+	if len(s.shards) == 1 {
+		ids, recs, ep, err := s.shards[0].Candidates(k)
+		out[0] = childCandidates{ids: ids, recs: recs, epoch: ep, err: err}
+		return out
+	}
+	grp := s.pool.NewGroup(nil)
+	for sh, ch := range s.shards {
+		sh, ch := sh, ch
+		grp.Go(func(context.Context) error {
+			ids, recs, ep, err := ch.Candidates(k)
+			out[sh] = childCandidates{ids: ids, recs: recs, epoch: ep, err: err}
+			return nil
+		})
+	}
+	_ = grp.Wait() // per-child errors are carried in the snapshots
+	return out
+}
+
 // subFor returns the merged candidate list for depth k, deriving and caching
 // it on first use. It reports false when a shard's epoch drifted from the
 // index's vector mid-collection — the caller refreshes and retries.
@@ -599,19 +636,20 @@ func (s *Engine) subFor(mi *mergedIndex, k int) (*mergedSub, bool) {
 	if sub, ok := mi.subs[k]; ok {
 		return sub, true
 	}
+	collected := s.collectCandidates(k)
 	var gids []int
 	var grecs [][]float64
 	s.routeMu.RLock()
-	for sh, ch := range s.shards {
-		cids, crecs, ep, err := ch.Candidates(k)
-		if err != nil || ep != mi.epochs[sh] {
+	for sh := range s.shards {
+		c := &collected[sh]
+		if c.err != nil || c.epoch != mi.epochs[sh] {
 			s.routeMu.RUnlock()
 			return nil, false
 		}
-		for _, lid := range cids {
+		for _, lid := range c.ids {
 			gids = append(gids, s.localToGlobal[sh][lid])
 		}
-		grecs = append(grecs, crecs...)
+		grecs = append(grecs, c.recs...)
 	}
 	s.routeMu.RUnlock()
 	keep := skyband.ScanKSkyband(grecs, k)
@@ -716,30 +754,34 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 		s.mu.Unlock()
 	}
 
-	acquired := false
-	if ctx.Err() == nil {
-		select {
-		case s.sem <- struct{}{}:
-			acquired = true
-		case <-ctx.Done():
-		}
-	}
-	if !acquired {
+	// Dispatch through the executor: saturation is rejected at the queue
+	// bound, a context dying while queued revokes the task, and a started
+	// merge observes its deadline through the Cancel hook inside compute.
+	var res *engine.Result
+	var err error
+	var seq0 uint64
+	runErr := s.pool.Run(ctx, func() {
+		s.mu.Lock()
+		s.active++
+		s.mu.Unlock()
+		seq0 = s.seq.Load()
+		res, err = s.compute(ctx, req)
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	})
+	if runErr != nil {
 		s.finish(key, fl, nil, errAborted)
 		s.mu.Lock()
-		s.rejected++
+		if errors.Is(runErr, exec.ErrSaturated) {
+			s.saturated++
+			runErr = engine.ErrSaturated
+		} else {
+			s.rejected++
+		}
 		s.mu.Unlock()
-		return nil, ctx.Err()
+		return nil, runErr
 	}
-	s.mu.Lock()
-	s.active++
-	s.mu.Unlock()
-	seq0 := s.seq.Load()
-	res, err := s.compute(ctx, req)
-	s.mu.Lock()
-	s.active--
-	s.mu.Unlock()
-	<-s.sem
 
 	if err != nil {
 		if errors.Is(err, core.ErrCanceled) {
@@ -816,7 +858,10 @@ func (s *Engine) DoBatch(ctx context.Context, reqs []engine.Request) ([]*engine.
 func (s *Engine) compute(ctx context.Context, req engine.Request) (*engine.Result, error) {
 	st := &core.Stats{}
 	opts := req.Opts
-	opts.Workers = 0
+	// Intra-query parallelism (Opts.Workers > 1) fans out on the merge
+	// layer's own executor, alongside query dispatch and per-child
+	// candidate collection.
+	opts.Pool = s.pool
 	done := ctx.Done()
 	opts.Cancel = func() bool {
 		select {
@@ -839,20 +884,21 @@ func (s *Engine) compute(ctx context.Context, req engine.Request) (*engine.Resul
 	}
 	if sub == nil {
 		// Update storm: collect the raw union without the merged cache.
+		collected := s.collectCandidates(req.K)
 		var gids []int
 		var grecs [][]float64
 		s.routeMu.RLock()
-		for sh, ch := range s.shards {
-			cids, crecs, ep, err := ch.Candidates(req.K)
-			if err != nil {
+		for sh := range s.shards {
+			c := &collected[sh]
+			if c.err != nil {
 				s.routeMu.RUnlock()
-				return nil, err
+				return nil, c.err
 			}
-			epochSum += ep
-			for _, lid := range cids {
+			epochSum += c.epoch
+			for _, lid := range c.ids {
 				gids = append(gids, s.localToGlobal[sh][lid])
 			}
-			grecs = append(grecs, crecs...)
+			grecs = append(grecs, c.recs...)
 		}
 		s.routeMu.RUnlock()
 		sub = &mergedSub{ids: gids, recs: grecs}
@@ -903,7 +949,7 @@ func (s *Engine) validate(req engine.Request) error {
 // per-shard maintenance counters. Epoch, Live, SupersetSize, and ShadowSize
 // are sums across shards; Coverage is the weakest per-shard guarantee.
 func (s *Engine) Stats() engine.Stats {
-	agg := engine.Stats{MaxK: s.cfg.Engine.MaxK, Workers: cap(s.sem)}
+	agg := engine.Stats{MaxK: s.cfg.Engine.MaxK, Workers: s.pool.Workers(), Queued: s.pool.Queued()}
 	for i, ch := range s.shards {
 		st := ch.Stats()
 		agg.Epoch += st.Epoch
@@ -930,6 +976,7 @@ func (s *Engine) Stats() engine.Stats {
 	agg.CostEvictions = s.costEvicted
 	agg.Invalidations = s.invalidations
 	agg.Rejected = s.rejected
+	agg.Saturated = s.saturated
 	agg.InFlight = s.active
 	agg.UpdateBatches = s.batches
 	if s.cache != nil {

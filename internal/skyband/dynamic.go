@@ -239,13 +239,78 @@ func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
 		d.cov--
 		if d.cov < d.k {
 			// Shadow exhausted: the band can no longer vouch for complete
-			// membership. Recompute from the live records.
-			d.rebuild()
+			// membership. Reseed from the surviving members instead of
+			// recomputing over the whole live set.
+			d.reseed()
 			eff.BandChanged = true
 			eff.Rebuilt = true
 		}
 	}
 	return rec, eff, true
+}
+
+// reseed restores coverage to capK after shadow exhaustion by reusing the
+// surviving members as the seed of the recomputation, instead of running
+// setMembers over every live record:
+//
+//  1. Survivor counts are still exact (invariant: every dominator of a
+//     member is itself a member), so survivors screen the rest of the
+//     dataset: a live record with at least capK dominators among the
+//     survivors has true count ≥ capK and can never be a member. A record
+//     with true count < capK necessarily has < capK dominators among the
+//     survivors (they are a subset of its dominators), so it always passes
+//     the screen — the surviving candidate pool provably contains every
+//     record setMembers needs.
+//  2. setMembers then computes exact counts over that small pool only.
+//
+// Versus the from-scratch rebuild this replaces, the screening pass needs no
+// global sort (the survivors are pre-sorted by strength once) and the exact
+// pass runs over a candidate pool near the final member count rather than
+// the full dataset.
+func (d *Dynamic) reseed() {
+	// Survivors ordered by descending coordinate sum: the strongest members
+	// first, so the per-record dominator scan hits capK and exits early.
+	surv := make([]dynEntry, len(d.ents))
+	copy(surv, d.ents)
+	sort.Slice(surv, func(a, b int) bool { return coordSum(surv[a].rec) > coordSum(surv[b].rec) })
+
+	ids := make([]int, 0, len(surv)*2)
+	for id := range d.live {
+		if _, isMember := d.pos[id]; isMember {
+			continue
+		}
+		rec := d.live[id]
+		cnt := 0
+		for i := range surv {
+			if geom.Dominates(surv[i].rec, rec) {
+				cnt++
+				if cnt >= d.capK {
+					break
+				}
+			}
+		}
+		if cnt < d.capK {
+			ids = append(ids, id)
+		}
+	}
+	for i := range surv {
+		ids = append(ids, surv[i].id)
+	}
+	sort.Ints(ids)
+	recs := make([][]float64, len(ids))
+	for i, id := range ids {
+		recs[i] = d.live[id]
+	}
+	d.setMembers(recs, ids)
+	d.rebuilds++
+}
+
+func coordSum(rec []float64) float64 {
+	s := 0.0
+	for _, v := range rec {
+		s += v
+	}
+	return s
 }
 
 // Band returns the current k-skyband as parallel id/record slices sorted by
@@ -298,9 +363,10 @@ func (d *Dynamic) Stats() DynamicStats {
 	}
 }
 
-// Rebuild recomputes the member set from the live records, restoring the
-// coverage depth to capK. It is invoked automatically when a deletion
-// exhausts the shadow band, and exposed for tests and benchmarks.
+// Rebuild recomputes the member set from scratch over the live records,
+// restoring the coverage depth to capK. The automatic shadow-exhaustion path
+// uses the cheaper reseed (survivor-screened recomputation) instead; the full
+// rebuild stays exposed for tests and benchmarks as the reference.
 func (d *Dynamic) Rebuild() { d.rebuild() }
 
 func (d *Dynamic) addEntry(e dynEntry) {

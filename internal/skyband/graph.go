@@ -35,12 +35,26 @@ type Graph struct {
 
 // BuildGraph computes the r-skyband of the indexed dataset and its
 // r-dominance graph in one pass. The returned graph contains exactly the
-// records r-dominated by fewer than k others.
+// records r-dominated by fewer than k others. The branch-and-bound search is
+// seeded with the interval prefilter (the tree-mode analogue of ScanGraph's
+// k-th min-score pruning): subtrees whose best possible score over R lies
+// below the k-th accepted member's guaranteed score are cut without any
+// dominance tests.
 func BuildGraph(t *rtree.Tree, r *geom.Region, k int) *Graph {
+	return buildGraph(t, r, k, true)
+}
+
+// buildGraph carries the prefilter ablation switch for the Figure 10(a)
+// filter-comparison benchmark; both settings produce the identical graph.
+func buildGraph(t *rtree.Tree, r *geom.Region, k int, prefilter bool) *Graph {
 	pivot := r.Pivot()
 	key := func(p []float64) float64 { return geom.Score(p, pivot) }
 	dom := func(p, q []float64) bool { return RDominates(p, q, r) }
-	ms := bbs(t, k, key, dom)
+	var ib *intervalBound
+	if prefilter {
+		ib = &intervalBound{r: r, k: k}
+	}
+	ms := bbs(t, k, key, dom, ib)
 	recs := make([][]float64, len(ms))
 	ids := make([]int, len(ms))
 	for i, m := range ms {

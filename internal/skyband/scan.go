@@ -80,37 +80,56 @@ func ScanKSkyband(recs [][]float64, k int) []int {
 	return scanSkyband(recs, k, key, geom.Dominates)
 }
 
+// IntervalExcluded applies the k-th min-score interval rule over an explicit
+// record set: excluded[i] is true when record i's maximum score over r lies
+// strictly (beyond Eps) below the k-th largest minimum score over r — at
+// least k records then outscore it everywhere in r (k genuine r-dominators),
+// so it belongs to no top-k set anywhere in r and is outside the r-skyband.
+// Returns nil when n ≤ k (nothing is excludable). This is the one definition
+// of the rule; the region-aware filters and the decomposed JAA's subregion
+// seeding all share it, so the Eps discipline cannot drift between them.
+func IntervalExcluded(recs [][]float64, r *geom.Region, k int) []bool {
+	n := len(recs)
+	if n <= k {
+		return nil
+	}
+	smax := make([]float64, n)
+	smin := make([]float64, n)
+	for i, rec := range recs {
+		smin[i], smax[i] = r.ScoreRange(rec)
+	}
+	kth := append([]float64(nil), smin...)
+	sort.Float64s(kth)
+	theta := kth[n-k] // k-th largest minimum score
+	excluded := make([]bool, n)
+	for i := range recs {
+		excluded[i] = smax[i]+geom.Eps < theta
+	}
+	return excluded
+}
+
 // ScanGraph computes the r-skyband of an explicit candidate superset (each
 // candidate r-dominated by fewer than k others within the full dataset) and
 // its r-dominance graph without an R-tree, in two passes:
 //
-//  1. Interval pruning: a record whose maximum score over R lies strictly
-//     (beyond Eps) below the k-th largest minimum score over R has at least
-//     k records outscoring it everywhere in R — k genuine r-dominators — so
-//     it is excluded with O(1) work after an O(n·d) range computation. For
-//     the narrow regions UTK targets, this eliminates almost everything.
+//  1. Interval pruning (IntervalExcluded): a record whose maximum score over
+//     R lies strictly below the k-th largest minimum score over R has k
+//     genuine r-dominators, so it is excluded with O(1) work after an
+//     O(n·d) range computation. For the narrow regions UTK targets, this
+//     eliminates almost everything.
 //  2. A sort-and-sweep over the survivors (see scanSkyband) followed by
 //     NewGraph's exact pairwise pass.
 //
 // The resulting graph has exactly the nodes and edges BuildGraph derives
 // over an index of the same records.
 func ScanGraph(recs [][]float64, ids []int, r *geom.Region, k int) *Graph {
-	n := len(recs)
 	survRecs := recs
 	survIDs := ids
-	if n > k {
-		smax := make([]float64, n)
-		smin := make([]float64, n)
-		for i, rec := range recs {
-			smin[i], smax[i] = r.ScoreRange(rec)
-		}
-		kth := append([]float64(nil), smin...)
-		sort.Float64s(kth)
-		theta := kth[n-k] // k-th largest minimum score
+	if excluded := IntervalExcluded(recs, r, k); excluded != nil {
 		survRecs = make([][]float64, 0, 4*k)
 		survIDs = make([]int, 0, 4*k)
 		for i := range recs {
-			if smax[i]+geom.Eps >= theta {
+			if !excluded[i] {
 				survRecs = append(survRecs, recs[i])
 				survIDs = append(survIDs, ids[i])
 			}

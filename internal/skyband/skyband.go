@@ -53,12 +53,68 @@ type member struct {
 	id  int
 }
 
+// intervalBound is the BBS-side analogue of ScanGraph's interval prefilter:
+// it maintains θ, the k-th largest minimum score over R among the members
+// accepted so far. Any record (or MBB top corner, which score-dominates its
+// subtree) whose maximum score over R lies strictly below θ has at least k
+// accepted members outscoring it everywhere in R — k genuine r-dominators —
+// so it is pruned with one O(d) range computation instead of up to k
+// dominance tests. θ only grows as members accrue, so a verdict taken at any
+// point stays sound.
+type intervalBound struct {
+	r *geom.Region
+	k int
+	// mins holds the k largest member min-scores seen so far, ascending;
+	// mins[0] is θ once the buffer is full.
+	mins []float64
+}
+
+// prune reports whether the point (a record, or a node's top corner) is
+// provably outside the r-skyband.
+func (ib *intervalBound) prune(p []float64) bool {
+	if len(ib.mins) < ib.k {
+		return false
+	}
+	_, mx := ib.r.ScoreRange(p)
+	return mx+geom.Eps < ib.mins[0]
+}
+
+// accept folds an accepted member's minimum score into the bound.
+func (ib *intervalBound) accept(rec []float64) {
+	mn, _ := ib.r.ScoreRange(rec)
+	if len(ib.mins) < ib.k {
+		ib.mins = append(ib.mins, mn)
+		sortFloat64sInto(ib.mins)
+		return
+	}
+	if mn <= ib.mins[0] {
+		return
+	}
+	ib.mins[0] = mn
+	sortFloat64sInto(ib.mins)
+}
+
+// sortFloat64sInto restores ascending order after a single replacement or
+// append — one insertion pass, O(k).
+func sortFloat64sInto(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
 // bbs runs the branch-and-bound skyline paradigm with a pluggable monotone
 // key and dominance test. key must never increase along any root-to-record
 // path (it is evaluated on MBB top corners, which coordinate-wise dominate
 // their contents), which guarantees that a record popped later cannot
-// dominate one popped earlier.
-func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func(p, q []float64) bool) []member {
+// dominate one popped earlier. ib, when non-nil, adds the interval prefilter
+// on top of the dominance test (region-aware searches only).
+func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func(p, q []float64) bool, ib *intervalBound) []member {
 	var h bbsHeap
 	pushNode := func(n *rtree.Node) {
 		for _, e := range n.Entries() {
@@ -88,16 +144,25 @@ func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func
 		it := heap.Pop(&h).(bbsItem)
 		if it.node != nil {
 			corner = nodeTopCornerInto(corner, it.node)
+			if ib != nil && ib.prune(corner) {
+				continue
+			}
 			if dominatedAtLeastK(corner) {
 				continue
 			}
 			pushNode(it.node)
 			continue
 		}
+		if ib != nil && ib.prune(it.rec) {
+			continue
+		}
 		if dominatedAtLeastK(it.rec) {
 			continue
 		}
 		members = append(members, member{rec: it.rec, id: it.id})
+		if ib != nil {
+			ib.accept(it.rec)
+		}
 	}
 	return members
 }
@@ -130,7 +195,7 @@ func KSkyband(t *rtree.Tree, k int) []int {
 		}
 		return s
 	}
-	ms := bbs(t, k, key, geom.Dominates)
+	ms := bbs(t, k, key, geom.Dominates, nil)
 	out := make([]int, len(ms))
 	for i, m := range ms {
 		out[i] = m.id
@@ -148,7 +213,7 @@ func RSkyband(t *rtree.Tree, r *geom.Region, k int) []int {
 	pivot := r.Pivot()
 	key := func(p []float64) float64 { return geom.Score(p, pivot) }
 	dom := func(p, q []float64) bool { return RDominates(p, q, r) }
-	ms := bbs(t, k, key, dom)
+	ms := bbs(t, k, key, dom, &intervalBound{r: r, k: k})
 	// Exact post-pass: pairwise counts inside the BBS superset.
 	keep := make([]int, 0, len(ms))
 	for i, mi := range ms {
