@@ -4,6 +4,7 @@
 //
 //	utkserve -gen IND -n 100000 -d 4 -maxk 20 -addr :8080
 //	utkserve -data hotels.csv -name hotels -maxk 10 -shards 4 -cache 1024 -timeout 2s
+//	utkserve -gen IND -n 100000 -d 4 -data-dir /var/lib/utk -fsync always
 //
 // The flags register one initial dataset (default name "default"); further
 // datasets can be created and dropped over HTTP unless -no-admin is set.
@@ -11,12 +12,19 @@
 //
 //	POST   /utk1/{dataset}    POST /utk2/{dataset}    POST /update/{dataset}
 //	GET    /stats             GET  /stats/{dataset}   GET  /datasets
-//	POST   /datasets/{name}   DELETE /datasets/{name}
+//	POST   /datasets/{name}   DELETE /datasets/{name} POST /snapshot/{dataset}
 //
 // Dataset-less legacy paths (POST /utk1, /utk2, /update) resolve while
 // exactly one dataset is registered. With -shards above 1 the initial
 // dataset is horizontally partitioned; queries are answered exactly by
 // merging per-shard candidate supersets into one global refinement.
+//
+// With -data-dir, dataset state is durable: creates persist a manifest entry
+// and an initial snapshot, every acknowledged /update batch is in the WAL
+// before the 200 goes out (fsync per batch under -fsync always), and a
+// restart recovers every dataset from its last snapshot plus the WAL tail —
+// including across kill -9. Datasets recovered from the directory win over
+// the -gen/-data flags, which only seed the initial dataset the first time.
 //
 // CSV input is one record per line, numeric fields only; higher values are
 // better in every column.
@@ -40,6 +48,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -62,15 +71,21 @@ func main() {
 		maxBody  = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default)")
 		grace    = flag.Duration("grace", 10*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
 		logReqs  = flag.Bool("log-requests", false, "emit one structured log line per request (method, dataset, variant, k, duration, served, status)")
+		dataDir  = flag.String("data-dir", "", "directory for durable dataset state (WAL + snapshots); empty = in-memory only")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (fsync per batch) or never (leave flushing to the OS)")
+		snapOps  = flag.Int("snapshot-every", 0, "snapshot a dataset after this many logged update ops (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
 
-	records, err := loadRecords(*dataPath, *gen, *n, *d, *seed)
+	reg, err := openRegistry(*dataDir, *fsync, *snapOps)
 	if err != nil {
 		fail(err)
 	}
-	reg := registry.New()
-	ent, err := reg.Create(*name, records, registry.Options{
+
+	// Register the initial dataset unless the durable directory already holds
+	// one by that name (the recovered state wins — re-seeding would discard
+	// acknowledged updates).
+	ent, recovered, err := seedDataset(reg, *name, *dataPath, *gen, *n, *d, *seed, registry.Options{
 		Shards:       *shards,
 		MaxK:         *maxK,
 		ShadowDepth:  *shadow,
@@ -89,8 +104,12 @@ func main() {
 		LogRequests:  *logReqs,
 	})
 	st := ent.Engine.Stats()
-	log.Printf("utkserve: dataset %q: %d records, %d attributes, maxk=%d, shards=%d, superset=%d, listening on %s",
-		ent.Name, ent.Dataset.Len(), ent.Dataset.Dim(), *maxK, ent.Engine.Shards(), st.SupersetSize, *addr)
+	how := "created"
+	if recovered {
+		how = "recovered"
+	}
+	log.Printf("utkserve: dataset %q (%s): %d records, %d attributes, maxk=%d, shards=%d, superset=%d, durable=%v, listening on %s",
+		ent.Name, how, ent.Len(), ent.Dim(), ent.Opts.MaxK, ent.Engine.Shards(), st.SupersetSize, reg.Durable(), *addr)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
 	// drains in-flight requests for up to -grace before exiting; a second
@@ -118,6 +137,52 @@ func main() {
 		}
 		log.Printf("utkserve: drained cleanly")
 	}
+}
+
+// openRegistry builds the registry over the store the flags select: a
+// durable file store rooted at dataDir (recovering every dataset its
+// manifest lists), or the in-memory store when dataDir is empty.
+func openRegistry(dataDir, fsync string, snapOps int) (*registry.Registry, error) {
+	if dataDir == "" {
+		return registry.New(), nil
+	}
+	sync, err := store.ParseSyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.OpenFile(dataDir, store.FileConfig{Sync: sync})
+	if err != nil {
+		return nil, err
+	}
+	reg, err := registry.Open(st, registry.SnapshotPolicy{EveryOps: snapOps})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	for _, name := range reg.Names() {
+		ent, err := reg.Get(name)
+		if err != nil {
+			continue
+		}
+		d := ent.Durability(true)
+		log.Printf("utkserve: recovered dataset %q: %d records at seq %d (snapshot seq %d + %d replayed batches / %d ops in %d ms)",
+			name, ent.Len(), d.LastSeq, d.LastSnapshotSeq, d.ReplayedBatches, d.ReplayedOps, d.RecoveryMillis)
+	}
+	return reg, nil
+}
+
+// seedDataset registers the initial dataset, unless recovery already
+// produced an entry under that name.
+func seedDataset(reg *registry.Registry, name, dataPath, gen string, n, d int, seed int64, opts registry.Options) (*registry.Entry, bool, error) {
+	if ent, err := reg.Get(name); err == nil {
+		return ent, true, nil
+	}
+	records, err := loadRecords(dataPath, gen, n, d, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	ent, err := reg.Create(name, records, opts)
+	return ent, false, err
 }
 
 func loadRecords(path, gen string, n, d int, seed int64) ([][]float64, error) {

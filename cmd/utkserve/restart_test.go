@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildServer compiles the utkserve binary once per test run.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "utkserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral port and releases it for the server.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// startServer launches utkserve and waits until it answers HTTP.
+func startServer(t *testing.T, bin string, port int, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-data-dir", dataDir,
+		"-gen", "IND", "-n", "400", "-d", "3", "-seed", "3",
+		"-maxk", "5", "-snapshot-every", "8",
+		"-grace", "5s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/datasets")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("utkserve did not become ready")
+	return nil
+}
+
+func postJSON(t *testing.T, url string, body any) map[string]any {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRestartSurvivesKill drives the binary end to end: create + update over
+// HTTP, kill -9, restart on the same directory, and check the acknowledged
+// state — dataset catalog, live population, and query answers — survived.
+// A SIGTERM cycle then checks the graceful path too.
+func TestRestartSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real server binary")
+	}
+	bin := buildServer(t)
+	dataDir := t.TempDir()
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+
+	srv := startServer(t, bin, port, dataDir)
+	// Acknowledged update: a dominating record that must appear in answers.
+	res := postJSON(t, base+"/update/default", map[string]any{"insert": [][]float64{{0.99, 0.99, 0.99}}})
+	id := int(res["inserted_ids"].([]any)[0].(float64))
+	wantLive := int(res["live"].(float64))
+
+	// Hard crash: no drain, no snapshot, no goodbye.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+
+	srv = startServer(t, bin, port, dataDir)
+	list := getJSON(t, base+"/datasets")
+	dss := list["datasets"].([]any)
+	if len(dss) != 1 {
+		t.Fatalf("datasets after kill -9: %v", dss)
+	}
+	ds := dss[0].(map[string]any)
+	if ds["name"] != "default" || int(ds["len"].(float64)) != wantLive {
+		t.Fatalf("recovered dataset: %v, want default with %d records", ds, wantLive)
+	}
+	ans := postJSON(t, base+"/utk1/default", map[string]any{
+		"k": 2, "region": map[string]any{"lo": []float64{0.3, 0.3}, "hi": []float64{0.4, 0.4}},
+	})
+	found := false
+	for _, v := range ans["records"].([]any) {
+		if int(v.(float64)) == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("acknowledged insert %d missing from post-crash answer %v", id, ans["records"])
+	}
+
+	// Second acknowledged update, then a graceful SIGTERM cycle.
+	res = postJSON(t, base+"/update/default", map[string]any{"delete": []int{id}})
+	wantLive = int(res["live"].(float64))
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v", err)
+	}
+
+	srv = startServer(t, bin, port, dataDir)
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+	list = getJSON(t, base+"/datasets")
+	ds = list["datasets"].([]any)[0].(map[string]any)
+	if int(ds["len"].(float64)) != wantLive {
+		t.Fatalf("live after SIGTERM restart = %v, want %d", ds["len"], wantLive)
+	}
+	ans = postJSON(t, base+"/utk1/default", map[string]any{
+		"k": 2, "region": map[string]any{"lo": []float64{0.3, 0.3}, "hi": []float64{0.4, 0.4}},
+	})
+	for _, v := range ans["records"].([]any) {
+		if int(v.(float64)) == id {
+			t.Fatalf("deleted record %d still answered after restart", id)
+		}
+	}
+}

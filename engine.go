@@ -87,6 +87,7 @@ type backend interface {
 	Stats() engine.Stats
 	MaxK() int
 	Shards() int
+	Dim() int
 }
 
 // UpdateKind discriminates UpdateOp.
@@ -243,6 +244,9 @@ func (ds *Dataset) NewShardedEngine(shards int, cfg EngineConfig) (*Engine, erro
 
 // MaxK returns the largest top-k depth the engine serves.
 func (e *Engine) MaxK() int { return e.e.MaxK() }
+
+// Dim returns the data dimensionality the engine serves.
+func (e *Engine) Dim() int { return e.e.Dim() }
 
 // Shards returns the number of horizontal partitions behind the engine
 // (1 for engines built with NewEngine).
@@ -435,7 +439,7 @@ func (e *Engine) request(v engine.Variant, q Query) (engine.Request, error) {
 	if q.Algorithm != AlgoAuto && q.Algorithm != AlgoRSA {
 		return engine.Request{}, errors.New("utk: the engine serves the paper's RSA/JAA algorithms only")
 	}
-	if err := q.validate(e.ds); err != nil {
+	if err := q.validateDim(e.e.Dim()); err != nil {
 		return engine.Request{}, err
 	}
 	return engine.Request{

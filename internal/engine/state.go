@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+
+	"repro/internal/exec"
+	"repro/internal/skyband"
+)
+
+// State is a deep, serializable snapshot of an engine's mutable dataset
+// state: everything recovery needs to resume serving and applying updates
+// with behavior identical to the original engine. Caches, in-flight queries,
+// and query counters are deliberately excluded — they are performance state,
+// recomputed from scratch by a restored engine.
+type State struct {
+	// Dim is the data dimensionality.
+	Dim int
+	// Epoch is the index version at capture; Batches the number of applied
+	// update batches.
+	Epoch   uint64
+	Batches uint64
+	// Dyn is the dynamic skyband state: live records, member set with exact
+	// dominator counts, coverage, and the id allocator.
+	Dyn *skyband.DynamicState
+}
+
+// ExportState captures the engine's dataset state. It serializes against
+// updates (holding the update mutex while the dynamic structure is walked),
+// so the returned state is a consistent post-batch snapshot; queries are not
+// blocked. Record slices in the state are shared with the engine and must
+// not be mutated.
+func (e *Engine) ExportState() *State {
+	e.updMu.Lock()
+	st := &State{
+		Dim:   e.dim,
+		Epoch: e.idx.Load().epoch,
+		Dyn:   e.dyn.State(),
+	}
+	e.updMu.Unlock()
+	e.mu.Lock()
+	st.Batches = e.batches
+	e.mu.Unlock()
+	return st
+}
+
+// Restore rebuilds an engine from a captured state. No R-tree is needed:
+// queries run over the maintained skyband superset (snapshotted into the
+// index) and updates over the restored dynamic structure, so recovery costs
+// O(live + members) instead of a full index build plus skyband recomputation.
+// cfg.MaxK must match the depth the state was maintained at; cfg.ShadowDepth
+// is taken from the state (the retention depth is part of the dataset state,
+// not the serving configuration).
+func Restore(st *State, cfg Config) (*Engine, error) {
+	if st == nil || st.Dyn == nil {
+		return nil, errors.New("engine: nil state")
+	}
+	if st.Dim <= 0 {
+		return nil, errors.New("engine: invalid dimensionality in state")
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = st.Dyn.K
+	}
+	if cfg.MaxK != st.Dyn.K {
+		return nil, errors.New("engine: config MaxK does not match state band depth")
+	}
+	cfg.ShadowDepth = st.Dyn.ShadowDepth
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	dyn, err := skyband.RestoreDynamic(st.Dyn)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		dim:      st.Dim,
+		pool:     exec.NewPool(cfg.Workers, cfg.MaxQueued),
+		inflight: make(map[string]*flight),
+		dyn:      dyn,
+		batches:  st.Batches,
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = NewResultCache(cfg.CacheEntries)
+	}
+	e.dynStats = dyn.Stats()
+	ids, recs := dyn.Band()
+	e.idx.Store(bandIndex(st.Epoch, ids, recs))
+	return e, nil
+}

@@ -1,0 +1,187 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	utk "repro"
+	"repro/internal/dataset"
+	"repro/internal/store"
+)
+
+func openFileRegistry(t *testing.T, dir string, pol SnapshotPolicy) (*Registry, *store.File) {
+	t.Helper()
+	st, err := store.OpenFile(dir, store.FileConfig{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Open(st, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, st
+}
+
+func TestDurableCreateReopenDrop(t *testing.T) {
+	dir := t.TempDir()
+	recs := dataset.Synthetic(dataset.IND, 100, 3, 5)
+
+	reg, st := openFileRegistry(t, dir, SnapshotPolicy{})
+	if !reg.Durable() {
+		t.Fatal("file-backed registry reports not durable")
+	}
+	if _, err := reg.Create("single", recs, Options{MaxK: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("sharded", recs, Options{MaxK: 4, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var inserted int
+	for _, name := range []string{"single", "sharded"} {
+		res, err := reg.Update(name, []utk.UpdateOp{
+			{Kind: utk.UpdateInsert, Record: []float64{0.9, 0.9, 0.9}},
+			{Kind: utk.UpdateDelete, ID: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = res.IDs[0]
+	}
+	wantStats := map[string]utk.EngineStats{}
+	for _, name := range []string{"single", "sharded"} {
+		ent, _ := reg.Get(name)
+		wantStats[name] = ent.Engine.Stats()
+		d := ent.Durability(true)
+		if d.WALAppends != 1 || d.LastSeq != 1 {
+			t.Fatalf("%s durability after one update: %+v", name, d)
+		}
+		if d.SnapshotsWritten != 1 { // creation's initial snapshot
+			t.Fatalf("%s snapshots written = %d, want 1", name, d.SnapshotsWritten)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, st2 := openFileRegistry(t, dir, SnapshotPolicy{})
+	for _, name := range []string{"single", "sharded"} {
+		ent, err := reg2.Get(name)
+		if err != nil {
+			t.Fatalf("recovered %s: %v", name, err)
+		}
+		if ent.Dataset != nil {
+			t.Fatalf("%s: recovered entry carries a source Dataset", name)
+		}
+		got := ent.Engine.Stats()
+		want := wantStats[name]
+		if got.Epoch != want.Epoch || got.Live != want.Live {
+			t.Fatalf("%s: recovered epoch/live %d/%d, want %d/%d", name, got.Epoch, got.Live, want.Epoch, want.Live)
+		}
+		if got.Shards != want.Shards {
+			t.Fatalf("%s: recovered shards %d, want %d", name, got.Shards, want.Shards)
+		}
+		d := ent.Durability(true)
+		if d.ReplayedBatches != 1 || d.ReplayedOps != 2 {
+			t.Fatalf("%s: replayed %d batches / %d ops, want 1/2", name, d.ReplayedBatches, d.ReplayedOps)
+		}
+		// The recovered engine keeps serving updates where the log left off.
+		if _, err := reg2.Update(name, []utk.UpdateOp{{Kind: utk.UpdateDelete, ID: inserted}}); err != nil {
+			t.Fatalf("%s: update after recovery: %v", name, err)
+		}
+	}
+	if err := reg2.Drop("sharded"); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	reg3, st3 := openFileRegistry(t, dir, SnapshotPolicy{})
+	defer st3.Close()
+	if names := reg3.Names(); len(names) != 1 || names[0] != "single" {
+		t.Fatalf("names after drop+reopen: %v", names)
+	}
+}
+
+func TestAutoSnapshotPolicy(t *testing.T) {
+	dir := t.TempDir()
+	recs := dataset.Synthetic(dataset.IND, 60, 3, 9)
+	reg, st := openFileRegistry(t, dir, SnapshotPolicy{EveryOps: 5})
+	if _, err := reg.Create("ds", recs, Options{MaxK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := reg.Update("ds", []utk.UpdateOp{{Kind: utk.UpdateInsert, Record: []float64{0.5, 0.5, 0.5}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ent, _ := reg.Get("ds")
+	d := ent.Durability(true)
+	if d.SnapshotsWritten < 3 { // initial + two ops-threshold crossings
+		t.Fatalf("snapshots written = %d, want >= 3 at EveryOps=5 over 12 ops", d.SnapshotsWritten)
+	}
+	if d.LastSnapshotSeq == 0 || d.OpsSinceSnapshot >= 5 {
+		t.Fatalf("snapshot scheduling state: %+v", d)
+	}
+	st.Close()
+
+	// Recovery replays only the tail after the last auto-snapshot.
+	reg2, st2 := openFileRegistry(t, dir, SnapshotPolicy{EveryOps: 5})
+	defer st2.Close()
+	ent2, err := reg2.Get("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := ent2.Durability(true)
+	if d2.ReplayedBatches >= 5 {
+		t.Fatalf("replayed %d batches, want < 5 (snapshot bounds the tail)", d2.ReplayedBatches)
+	}
+	if got := ent2.Engine.Stats().Live; got != 72 {
+		t.Fatalf("recovered live = %d, want 72", got)
+	}
+}
+
+func TestManualSnapshot(t *testing.T) {
+	mem := New()
+	recs := dataset.Synthetic(dataset.IND, 40, 3, 2)
+	if _, err := mem.Create("ds", recs, Options{MaxK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Snapshot("ds"); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("snapshot over mem store: %v", err)
+	}
+	if _, err := mem.Snapshot("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("snapshot of unknown dataset: %v", err)
+	}
+
+	dir := t.TempDir()
+	reg, st := openFileRegistry(t, dir, SnapshotPolicy{})
+	if _, err := reg.Create("ds", recs, Options{MaxK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := reg.Update("ds", []utk.UpdateOp{{Kind: utk.UpdateInsert, Record: []float64{0.4, 0.4, 0.4}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := reg.Snapshot("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LastSnapshotSeq != 4 || d.SnapshotsWritten != 2 || d.OpsSinceSnapshot != 0 {
+		t.Fatalf("durability after manual snapshot: %+v", d)
+	}
+	st.Close()
+
+	reg2, st2 := openFileRegistry(t, dir, SnapshotPolicy{})
+	defer st2.Close()
+	ent, err := reg2.Get("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := ent.Durability(true)
+	if d2.ReplayedBatches != 0 {
+		t.Fatalf("replayed %d batches after checkpoint, want 0", d2.ReplayedBatches)
+	}
+	if got := ent.Engine.Stats().Live; got != 44 {
+		t.Fatalf("recovered live = %d, want 44", got)
+	}
+}

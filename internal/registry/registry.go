@@ -13,6 +13,7 @@ import (
 	"time"
 
 	utk "repro"
+	"repro/internal/store"
 )
 
 // Errors returned by registry operations.
@@ -23,6 +24,9 @@ var (
 	ErrExists = errors.New("registry: dataset already exists")
 	// ErrBadName reports an unusable dataset name.
 	ErrBadName = errors.New("registry: bad dataset name")
+	// ErrNotDurable reports a snapshot request against a registry whose
+	// store does not persist (the in-memory default).
+	ErrNotDurable = errors.New("registry: store is not durable")
 )
 
 // Options configures the engine built for one dataset.
@@ -41,26 +45,76 @@ type Options struct {
 	QueryTimeout time.Duration
 }
 
-// Entry is one registered dataset: the immutable source Dataset, the serving
-// engine over it, and the options it was built with.
+// Entry is one registered dataset: the serving engine, the options it was
+// built with, and — for datasets created in this process — the immutable
+// source Dataset. Entries recovered from a durable store have no Dataset
+// (Dataset is nil): the engine serves its own restored record collection.
 type Entry struct {
 	Name    string
 	Dataset *utk.Dataset
 	Engine  *utk.Engine
 	Opts    Options
+
+	// mu serializes the durable update path (apply + WAL append) and
+	// snapshots for this dataset; queries never take it.
+	mu sync.Mutex
+	// seq is the sequence number of the last batch durably logged; wedged
+	// is non-nil after an append failure left the engine ahead of the log
+	// (updates are rejected until a successful snapshot re-bases it).
+	seq    uint64
+	wedged error
+
+	// dmu guards the durability counters below, so stats reads never queue
+	// behind an in-progress apply or snapshot.
+	dmu               sync.Mutex
+	wedgedFlag        bool
+	lastSeq           uint64
+	walAppends        uint64
+	walBytes          uint64
+	snapshotsWritten  uint64
+	snapshotErrors    uint64
+	replayedBatches   uint64
+	replayedOps       uint64
+	recoveryMillis    int64
+	lastSnapSeq       uint64
+	lastSnapEpoch     uint64
+	lastSnapUnixMilli int64
+	opsSinceSnap      int
+	bytesSinceSnap    int64
 }
 
-// Registry is a concurrent map of named serving engines. The zero value is
-// not usable; construct with New.
+// Dim returns the data dimensionality the entry's engine serves.
+func (e *Entry) Dim() int { return e.Engine.Dim() }
+
+// Len returns the entry's current live record count.
+func (e *Entry) Len() int { return e.Engine.Stats().Live }
+
+// Registry is a concurrent map of named serving engines over a pluggable
+// durability store. The zero value is not usable; construct with New,
+// NewWithStore, or Open.
 type Registry struct {
+	st  store.Store
+	pol SnapshotPolicy
+
 	mu      sync.RWMutex
 	entries map[string]*Entry
 }
 
-// New builds an empty registry.
+// New builds an empty registry over an in-memory store: exactly the
+// pre-durability behavior.
 func New() *Registry {
-	return &Registry{entries: make(map[string]*Entry)}
+	return NewWithStore(store.NewMem(), SnapshotPolicy{})
 }
+
+// NewWithStore builds an empty registry over the given store. Datasets
+// created here are persisted through it; to also recover the datasets a
+// durable store already holds, use Open instead.
+func NewWithStore(st store.Store, pol SnapshotPolicy) *Registry {
+	return &Registry{st: st, pol: pol.withDefaults(), entries: make(map[string]*Entry)}
+}
+
+// Durable reports whether the registry's store survives process exit.
+func (r *Registry) Durable() bool { return r.st.Durable() }
 
 // ValidateName reports whether a dataset name is usable: non-empty, at most
 // 128 bytes, and built from letters, digits, '.', '_', and '-' only (names
@@ -116,13 +170,45 @@ func (r *Registry) Create(name string, records [][]float64, opts Options) (*Entr
 	if err != nil {
 		return nil, err
 	}
+
+	// Persist before claiming: the store's manifest commit is the one
+	// authority on existence, so a create racing a crash (or another
+	// creator) can never leave a dataset the manifest and the registry
+	// disagree about. For durable stores the staged artifact includes an
+	// initial snapshot, making the dataset recoverable from the instant it
+	// exists.
+	var snap *store.Snapshot
+	now := time.Now().UnixMilli()
+	if r.st.Durable() {
+		est, err := eng.State()
+		if err != nil {
+			return nil, err
+		}
+		snap = &store.Snapshot{Seq: 0, Epoch: est.Epoch(), UnixMilli: now, Engine: est.Single, Shard: est.Sharded}
+	}
+	if err := r.st.CreateDataset(datasetConfig(name, ds.Dim(), opts), snap); err != nil {
+		if errors.Is(err, store.ErrExists) {
+			return nil, fmt.Errorf("%w: %s", ErrExists, name)
+		}
+		return nil, err
+	}
+
 	ent := &Entry{Name: name, Dataset: ds, Engine: eng, Opts: opts}
+	if snap != nil {
+		ent.snapshotsWritten = 1
+		ent.lastSnapEpoch = snap.Epoch
+		ent.lastSnapUnixMilli = now
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, taken := r.entries[name]; taken {
+		r.mu.Unlock()
+		// Defensive: the store accepted the create, so no other creator can
+		// have committed this name; undo the staging all the same.
+		r.st.DropDataset(name)
 		return nil, fmt.Errorf("%w: %s", ErrExists, name)
 	}
 	r.entries[name] = ent
+	r.mu.Unlock()
 	return ent, nil
 }
 
@@ -137,15 +223,22 @@ func (r *Registry) Get(name string) (*Entry, error) {
 	return ent, nil
 }
 
-// Drop unregisters the named engine. In-flight queries against it complete;
-// the engine is garbage once they do.
+// Drop unregisters the named engine and removes its persisted state. The
+// store's manifest entry goes before the data files, so a crash mid-drop
+// leaves an orphan directory (swept at the next open), never a phantom
+// dataset. In-flight queries against the engine complete; it is garbage once
+// they do.
 func (r *Registry) Drop(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownDataset, name)
 	}
 	delete(r.entries, name)
+	r.mu.Unlock()
+	if err := r.st.DropDataset(name); err != nil && !errors.Is(err, store.ErrUnknownDataset) {
+		return err
+	}
 	return nil
 }
 
@@ -182,15 +275,6 @@ func (r *Registry) Sole() (*Entry, error) {
 	panic("unreachable")
 }
 
-// Update routes a batch of updates to the named dataset's engine.
-func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, error) {
-	ent, err := r.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	return ent.Engine.ApplyBatch(ops)
-}
-
 // AggregateStats sums serving counters across every registered engine.
 type AggregateStats struct {
 	// Datasets is the number of registered engines; Shards sums their
@@ -218,8 +302,18 @@ type AggregateStats struct {
 	Inserts       uint64
 	Deletes       uint64
 	UpdateBatches uint64
-	// PerDataset holds each engine's own snapshot, keyed by name.
-	PerDataset map[string]utk.EngineStats
+	// Durable reports the store kind; WALAppends, WALBytes,
+	// SnapshotsWritten, and ReplayedOps sum the fleet's durability
+	// counters.
+	Durable          bool
+	WALAppends       uint64
+	WALBytes         uint64
+	SnapshotsWritten uint64
+	ReplayedOps      uint64
+	// PerDataset holds each engine's own snapshot, keyed by name;
+	// PerDatasetDurability the per-dataset durability counters.
+	PerDataset           map[string]utk.EngineStats
+	PerDatasetDurability map[string]DurabilityStats
 }
 
 // Stats snapshots every engine and aggregates the fleet view.
@@ -231,7 +325,11 @@ func (r *Registry) Stats() AggregateStats {
 	}
 	r.mu.RUnlock()
 
-	agg := AggregateStats{PerDataset: make(map[string]utk.EngineStats, len(ents))}
+	agg := AggregateStats{
+		Durable:              r.st.Durable(),
+		PerDataset:           make(map[string]utk.EngineStats, len(ents)),
+		PerDatasetDurability: make(map[string]DurabilityStats, len(ents)),
+	}
 	for _, ent := range ents {
 		st := ent.Engine.Stats()
 		agg.Datasets++
@@ -254,6 +352,12 @@ func (r *Registry) Stats() AggregateStats {
 		agg.Deletes += st.Deletes
 		agg.UpdateBatches += st.UpdateBatches
 		agg.PerDataset[ent.Name] = st
+		ds := ent.Durability(r.st.Durable())
+		agg.WALAppends += ds.WALAppends
+		agg.WALBytes += ds.WALBytes
+		agg.SnapshotsWritten += ds.SnapshotsWritten
+		agg.ReplayedOps += ds.ReplayedOps
+		agg.PerDatasetDurability[ent.Name] = ds
 	}
 	return agg
 }

@@ -7,6 +7,7 @@
 //	POST   /utk1batch/{dataset}  many UTK1 queries  {"queries":[{...},...]}; per-query results/errors
 //	POST   /utk2batch/{dataset}  many UTK2 queries  same shape, partitionings per query
 //	POST   /update/{dataset}  atomic batch      {"delete":[3,17],"insert":[[...],...]}
+//	POST   /snapshot/{dataset}  checkpoint now (durable stores only; 409 otherwise)
 //	GET    /stats             fleet aggregate + per-dataset engine counters
 //	GET    /stats/{dataset}   one engine's counters
 //	GET    /metrics           Prometheus text exposition of the fleet counters
@@ -84,6 +85,7 @@ func New(reg *registry.Registry, cfg Config) http.Handler {
 	mux.HandleFunc("POST /utk2batch/{dataset}", s.handleUTK2Batch)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("POST /update/{dataset}", s.handleUpdate)
+	mux.HandleFunc("POST /snapshot/{dataset}", s.handleSnapshot)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /stats", s.handleStatsAll)
 	mux.HandleFunc("GET /stats/{dataset}", s.handleStats)
@@ -159,6 +161,14 @@ func servedLabel(cacheHit, derived bool) string {
 	return "computed"
 }
 
+// boolMetric renders a bool as the conventional 0/1 gauge value.
+func boolMetric(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // statusWriter captures the response status for the request log.
 type statusWriter struct {
 	http.ResponseWriter
@@ -231,7 +241,7 @@ func buildQuery(req queryRequest, ent *registry.Entry) (utk.Query, error) {
 		for i, h := range req.Halfspaces {
 			hs[i] = utk.Halfspace{Coef: h.Coef, Offset: h.Offset}
 		}
-		region, err = utk.NewPolytopeRegion(ent.Dataset.Dim()-1, hs)
+		region, err = utk.NewPolytopeRegion(ent.Dim()-1, hs)
 	default:
 		err = fmt.Errorf("provide region {lo, hi} or halfspaces")
 	}
@@ -440,10 +450,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range req.Insert {
 		ops = append(ops, utk.UpdateOp{Kind: utk.UpdateInsert, Record: rec})
 	}
-	res, err := ent.Engine.ApplyBatch(ops)
+	// Route through the registry so the batch is durably logged before the
+	// acknowledgement below: a 200 from /update survives a crash.
+	res, err := s.reg.Update(ent.Name, ops)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, utk.ErrUnknownRecord) {
+		switch {
+		case errors.Is(err, utk.ErrUnknownRecord):
+			status = http.StatusNotFound
+		case errors.Is(err, registry.ErrUnknownDataset):
 			status = http.StatusNotFound
 		}
 		http.Error(w, err.Error(), status)
@@ -458,6 +473,26 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		"superset":     res.SupersetSize,
 		"shadow":       res.ShadowSize,
 	})
+}
+
+// handleSnapshot checkpoints one dataset immediately: the engine state is
+// exported and written atomically, the WAL behind it pruned. 409 when the
+// registry's store is in-memory (nothing to checkpoint to).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	st, err := s.reg.Snapshot(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, registry.ErrUnknownDataset):
+			status = http.StatusNotFound
+		case errors.Is(err, registry.ErrNotDurable):
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, map[string]any{"dataset": name, "durability": st})
 }
 
 // engineStatsPayload flattens one engine's counters.
@@ -499,36 +534,47 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, engineStatsPayload(ent.Engine.Stats()))
+	p := engineStatsPayload(ent.Engine.Stats())
+	p["durability"] = ent.Durability(s.reg.Durable())
+	writeJSON(w, p)
 }
 
 func (s *Server) handleStatsAll(w http.ResponseWriter, r *http.Request) {
 	agg := s.reg.Stats()
 	per := make(map[string]any, len(agg.PerDataset))
 	for name, st := range agg.PerDataset {
-		per[name] = engineStatsPayload(st)
+		p := engineStatsPayload(st)
+		if d, ok := agg.PerDatasetDurability[name]; ok {
+			p["durability"] = d
+		}
+		per[name] = p
 	}
 	writeJSON(w, map[string]any{
-		"datasets":       agg.Datasets,
-		"shards":         agg.Shards,
-		"queries":        agg.Queries,
-		"hits":           agg.Hits,
-		"misses":         agg.Misses,
-		"shared":         agg.Shared,
-		"derived_hits":   agg.DerivedHits,
-		"evictions":      agg.Evictions,
-		"cost_evictions": agg.CostEvictions,
-		"invalidations":  agg.Invalidations,
-		"rejected":       agg.Rejected,
-		"saturated":      agg.Saturated,
-		"in_flight":      agg.InFlight,
-		"queued":         agg.Queued,
-		"cache_entries":  agg.CacheEntries,
-		"live":           agg.Live,
-		"inserts":        agg.Inserts,
-		"deletes":        agg.Deletes,
-		"update_batches": agg.UpdateBatches,
-		"per_dataset":    per,
+		"durable":           agg.Durable,
+		"wal_appends":       agg.WALAppends,
+		"wal_bytes":         agg.WALBytes,
+		"snapshots_written": agg.SnapshotsWritten,
+		"replayed_ops":      agg.ReplayedOps,
+		"datasets":          agg.Datasets,
+		"shards":            agg.Shards,
+		"queries":           agg.Queries,
+		"hits":              agg.Hits,
+		"misses":            agg.Misses,
+		"shared":            agg.Shared,
+		"derived_hits":      agg.DerivedHits,
+		"evictions":         agg.Evictions,
+		"cost_evictions":    agg.CostEvictions,
+		"invalidations":     agg.Invalidations,
+		"rejected":          agg.Rejected,
+		"saturated":         agg.Saturated,
+		"in_flight":         agg.InFlight,
+		"queued":            agg.Queued,
+		"cache_entries":     agg.CacheEntries,
+		"live":              agg.Live,
+		"inserts":           agg.Inserts,
+		"deletes":           agg.Deletes,
+		"update_batches":    agg.UpdateBatches,
+		"per_dataset":       per,
 	})
 }
 
@@ -581,6 +627,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "%s{dataset=%q} %v\n", sr.name, name, sr.get(agg.PerDataset[name]))
 		}
 	}
+
+	gauge("utk_durable", "Whether dataset state persists across restarts (1) or is process-local (0).", boolMetric(agg.Durable))
+	type dseries struct {
+		name, help, kind string
+		get              func(registry.DurabilityStats) any
+	}
+	durability := []dseries{
+		{"utk_wal_appends_total", "Update batches durably appended to the WAL.", "counter", func(d registry.DurabilityStats) any { return d.WALAppends }},
+		{"utk_wal_bytes_total", "Bytes durably appended to the WAL.", "counter", func(d registry.DurabilityStats) any { return d.WALBytes }},
+		{"utk_snapshots_written_total", "Snapshots written (creation's initial snapshot counts).", "counter", func(d registry.DurabilityStats) any { return d.SnapshotsWritten }},
+		{"utk_snapshot_errors_total", "Snapshot attempts that failed.", "counter", func(d registry.DurabilityStats) any { return d.SnapshotErrors }},
+		{"utk_replayed_ops", "WAL ops replayed by the recovery that produced this engine.", "gauge", func(d registry.DurabilityStats) any { return d.ReplayedOps }},
+		{"utk_recovery_ms", "Wall time of the recovery that produced this engine.", "gauge", func(d registry.DurabilityStats) any { return d.RecoveryMillis }},
+		{"utk_wedged", "Whether updates are rejected pending a snapshot (1) after an append failure.", "gauge", func(d registry.DurabilityStats) any { return boolMetric(d.Wedged) }},
+		{"utk_last_snapshot_seq", "Batch sequence the last snapshot covers.", "gauge", func(d registry.DurabilityStats) any { return d.LastSnapshotSeq }},
+		{"utk_last_snapshot_epoch", "Index epoch captured by the last snapshot.", "gauge", func(d registry.DurabilityStats) any { return d.LastSnapshotEpoch }},
+		{"utk_ops_since_snapshot", "Logged ops a crash right now would replay.", "gauge", func(d registry.DurabilityStats) any { return d.OpsSinceSnapshot }},
+	}
+	for _, sr := range durability {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.kind)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s{dataset=%q} %v\n", sr.name, name, sr.get(agg.PerDatasetDurability[name]))
+		}
+	}
+	// Age is derived at scrape time; datasets that never snapshotted (pure
+	// in-memory stores) are omitted rather than reported as absurdly old.
+	fmt.Fprintf(&b, "# HELP utk_last_snapshot_age_seconds Seconds since the last snapshot was written.\n# TYPE utk_last_snapshot_age_seconds gauge\n")
+	nowMilli := time.Now().UnixMilli()
+	for _, name := range names {
+		d := agg.PerDatasetDurability[name]
+		if d.LastSnapshotUnixMilli == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "utk_last_snapshot_age_seconds{dataset=%q} %.3f\n", name, float64(nowMilli-d.LastSnapshotUnixMilli)/1000)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(b.Bytes())
 }
@@ -595,8 +676,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, map[string]any{
 			"name":   ent.Name,
-			"len":    ent.Dataset.Len(),
-			"dim":    ent.Dataset.Dim(),
+			"len":    ent.Len(),
+			"dim":    ent.Dim(),
 			"max_k":  ent.Opts.MaxK,
 			"shards": ent.Engine.Shards(),
 		})
@@ -682,8 +763,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, map[string]any{
 		"name":     ent.Name,
-		"len":      ent.Dataset.Len(),
-		"dim":      ent.Dataset.Dim(),
+		"len":      ent.Len(),
+		"dim":      ent.Dim(),
 		"max_k":    ent.Opts.MaxK,
 		"shards":   ent.Engine.Shards(),
 		"superset": ent.Engine.Stats().SupersetSize,

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem is the process-local Store: no durability, no I/O — exactly the
+// pre-durability behavior, re-expressed as one Store implementation so the
+// registry runs a single code path. It tracks manifest entries and sequence
+// numbers (keeping the caller's ordering invariant honest) but retains no
+// batches and only the latest snapshot pointer.
+type Mem struct {
+	mu       sync.Mutex
+	datasets map[string]*memDataset
+}
+
+type memDataset struct {
+	cfg     DatasetConfig
+	lastSeq uint64
+	snap    *Snapshot
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{datasets: make(map[string]*memDataset)}
+}
+
+// Durable reports false: a Mem store dies with the process.
+func (m *Mem) Durable() bool { return false }
+
+// LoadManifest returns the registered datasets.
+func (m *Mem) LoadManifest() (*Manifest, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf := &Manifest{}
+	for _, ds := range m.datasets {
+		mf.Datasets = append(mf.Datasets, ds.cfg)
+	}
+	return mf, nil
+}
+
+// CreateDataset registers a dataset. snap may be nil.
+func (m *Mem) CreateDataset(cfg DatasetConfig, snap *Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.datasets[cfg.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, cfg.Name)
+	}
+	ds := &memDataset{cfg: cfg, snap: snap}
+	if snap != nil {
+		ds.lastSeq = snap.Seq
+	}
+	m.datasets[cfg.Name] = ds
+	return nil
+}
+
+// DropDataset removes a dataset.
+func (m *Mem) DropDataset(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.datasets[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	delete(m.datasets, name)
+	return nil
+}
+
+// Append checks the sequence invariant and discards the batch.
+func (m *Mem) Append(name string, b *Batch) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds, ok := m.datasets[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	if b.Seq != ds.lastSeq+1 {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrSeqGap, b.Seq, ds.lastSeq+1)
+	}
+	ds.lastSeq = b.Seq
+	return 0, nil
+}
+
+// WriteSnapshot replaces the held snapshot pointer.
+func (m *Mem) WriteSnapshot(name string, snap *Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds, ok := m.datasets[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	ds.snap = snap
+	return nil
+}
+
+// LoadSnapshot returns the held snapshot.
+func (m *Mem) LoadSnapshot(name string) (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds, ok := m.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	if ds.snap == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, name)
+	}
+	return ds.snap, nil
+}
+
+// Replay is a no-op: batches are not retained (recovery never happens for a
+// process-local store).
+func (m *Mem) Replay(name string, afterSeq uint64, fn func(*Batch) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.datasets[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	return nil
+}
+
+// LastSeq returns the last appended sequence number.
+func (m *Mem) LastSeq(name string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds, ok := m.datasets[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownDataset, name)
+	}
+	return ds.lastSeq, nil
+}
+
+// Close releases nothing.
+func (m *Mem) Close() error { return nil }

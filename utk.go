@@ -262,14 +262,20 @@ type Query struct {
 }
 
 func (q Query) validate(ds *Dataset) error {
+	return q.validateDim(ds.Dim())
+}
+
+// validateDim checks the query against a data dimensionality directly, for
+// callers (restored engines) that have no Dataset behind them.
+func (q Query) validateDim(dim int) error {
 	if q.K <= 0 {
 		return core.ErrBadK
 	}
 	if q.Region == nil {
 		return errors.New("utk: query requires a region")
 	}
-	if q.Region.Dim() != ds.Dim()-1 {
-		return fmt.Errorf("%w: region dim %d, data dim %d", core.ErrDimMismatch, q.Region.Dim(), ds.Dim())
+	if q.Region.Dim() != dim-1 {
+		return fmt.Errorf("%w: region dim %d, data dim %d", core.ErrDimMismatch, q.Region.Dim(), dim)
 	}
 	return nil
 }
