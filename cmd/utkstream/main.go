@@ -1,0 +1,110 @@
+// Command utkstream runs the sustained-update streaming harness: a single
+// writer applies a continuous ApplyBatch churn stream (including coalescible
+// insert→delete pairs) while concurrent queriers issue UTK1/UTK2 queries,
+// then reports update throughput, query latency percentiles, and the
+// engine's streaming counters.
+//
+//	utkstream                                  # 2s churn run at defaults
+//	utkstream -shards 3 -duration 5s           # sharded engine, longer run
+//	utkstream -compare                         # also run a read-only baseline
+//	utkstream -compare -json BENCH_stream.json # machine-readable output (CI)
+//
+// With -compare, the run's query p99 is reported against the same engine
+// serving the same query mix with no updates at all — the streaming design
+// target is that churn keeps the ratio small.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20000, "dataset cardinality")
+		d        = flag.Int("d", 4, "data dimensionality")
+		k        = flag.Int("k", 10, "serving depth (MaxK)")
+		sigma    = flag.Float64("sigma", 0.01, "query region side length")
+		shards   = flag.Int("shards", 1, "horizontal partitions (1 = single engine)")
+		batch    = flag.Int("batch", 32, "ops per update batch")
+		pairs    = flag.Int("pairs", 4, "coalescible insert→delete pairs per batch")
+		queriers = flag.Int("queriers", 4, "concurrent query goroutines")
+		regions  = flag.Int("regions", 16, "distinct query boxes cycled by queriers")
+		duration = flag.Duration("duration", 2*time.Second, "run length")
+		batches  = flag.Int("batches", 0, "stop after this many batches instead of -duration")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		compare  = flag.Bool("compare", false, "also run a read-only baseline and report the p99 ratio")
+		jsonOut  = flag.String("json", "", "write results as JSON to this file")
+	)
+	flag.Parse()
+
+	cfg := stream.Config{
+		N: *n, Dim: *d, K: *k, Sigma: *sigma, Shards: *shards,
+		BatchSize: *batch, ChurnPairs: *pairs,
+		Queriers: *queriers, Regions: *regions,
+		Batches: *batches, Duration: *duration, Seed: *seed,
+	}
+	churn, err := stream.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "utkstream:", err)
+		os.Exit(1)
+	}
+	report("churn", churn)
+
+	out := map[string]any{"churn": churn}
+	if *compare {
+		rocfg := cfg
+		rocfg.ReadOnly = true
+		rocfg.Batches = 0
+		if rocfg.Duration <= 0 {
+			rocfg.Duration = 2 * time.Second
+		}
+		baseline, err := stream.Run(rocfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "utkstream: baseline:", err)
+			os.Exit(1)
+		}
+		report("read-only baseline", baseline)
+		ratio := 0.0
+		if baseline.QueryP99 > 0 {
+			ratio = float64(churn.QueryP99) / float64(baseline.QueryP99)
+		}
+		fmt.Printf("query p99 under churn vs read-only: %.2fx\n", ratio)
+		out["baseline"] = baseline
+		out["p99_ratio"] = ratio
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "utkstream:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "utkstream:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func report(name string, r *stream.Result) {
+	fmt.Printf("%s: %s elapsed\n", name, r.Elapsed.Round(time.Millisecond))
+	if r.Batches > 0 {
+		fmt.Printf("  updates: %d batches, %d ops, %.0f updates/s; batch p50=%s p99=%s max=%s\n",
+			r.Batches, r.Ops, r.UpdatesPerSec, r.UpdateP50, r.UpdateP99, r.UpdateMax)
+	}
+	fmt.Printf("  queries: %d (%.0f/s); p50=%s p99=%s max=%s\n",
+		r.Queries, r.QueriesPerSec, r.QueryP50, r.QueryP99, r.QueryMax)
+	st := r.Stats
+	fmt.Printf("  engine: live=%d superset=%d shadow_depth=%d coalesced=%d admission_skips=%d repairs=%d steps=%d exhaustions=%d rebuilds=%d\n",
+		st.Live, st.SupersetSize, st.ShadowDepth, st.CoalescedOps, st.AdmissionSkips,
+		st.Repairs, st.RepairSteps, st.Exhaustions, st.Rebuilds)
+	fmt.Printf("  cache: hits=%d misses=%d derived=%d invalidations=%d evictions=%d\n",
+		st.Hits, st.Misses, st.DerivedHits, st.Invalidations, st.Evictions)
+}

@@ -23,9 +23,10 @@ type EngineConfig struct {
 	// CacheEntries bounds the result cache (cost-aware eviction with a
 	// containment index; see EngineStats.DerivedHits/CostEvictions). Zero
 	// selects DefaultEngineCacheEntries; negative values disable caching.
-	// Eviction scans all resident entries on overflow, so very large
-	// capacities (tens of thousands and up) trade insert latency for hit
-	// rate.
+	// Eviction is heap-ordered (O(log capacity) per overflow), so large
+	// capacities are safe; under sustained updates the cache additionally
+	// refuses admission for query classes whose entries are invalidated
+	// faster than they are hit (EngineStats.AdmissionSkips).
 	CacheEntries int
 	// Workers bounds the engine's executor: at most this many tasks —
 	// queries, plus the refinement subtasks of queries that request
@@ -173,6 +174,22 @@ type EngineStats struct {
 	Demotions       uint64
 	ShadowEvictions uint64
 	Rebuilds        uint64
+	// Sustained-update streaming counters. CoalescedOps counts batch ops
+	// elided because an insert and its matching delete cancelled within one
+	// batch. AdmissionSkips counts result-cache admissions refused because
+	// the entry's class was being invalidated faster than it was hit.
+	// Exhaustions counts shadow exhaustions (each forces a reseed); Repairs
+	// and RepairSteps count incremental reseed passes and the chunked steps
+	// they ran. ShadowDepth is the current adaptive retention depth (deepest
+	// shard when sharded); ShadowGrows and ShadowShrinks count its moves.
+	CoalescedOps   uint64
+	AdmissionSkips uint64
+	Exhaustions    uint64
+	Repairs        uint64
+	RepairSteps    uint64
+	ShadowDepth    int
+	ShadowGrows    uint64
+	ShadowShrinks  uint64
 	// MaxK and Workers echo the effective configuration. Shards is the
 	// number of horizontal partitions behind the engine (1 for NewEngine).
 	MaxK    int
@@ -281,6 +298,14 @@ func (e *Engine) Stats() EngineStats {
 		Demotions:       st.Demotions,
 		ShadowEvictions: st.ShadowEvictions,
 		Rebuilds:        st.Rebuilds,
+		CoalescedOps:    st.CoalescedOps,
+		AdmissionSkips:  st.AdmissionSkips,
+		Exhaustions:     st.Exhaustions,
+		Repairs:         st.Repairs,
+		RepairSteps:     st.RepairSteps,
+		ShadowDepth:     st.ShadowDepth,
+		ShadowGrows:     st.ShadowGrows,
+		ShadowShrinks:   st.ShadowShrinks,
 		MaxK:            st.MaxK,
 		Workers:         st.Workers,
 		Shards:          e.e.Shards(),

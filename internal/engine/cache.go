@@ -160,10 +160,12 @@ func (c *ResultCache) Peek(key string) (*Result, bool) {
 }
 
 // Add inserts (or refreshes) the result computed for req under the key,
-// recording the result's recompute cost for the eviction policy. It reports
-// whether an older entry was evicted to make room, and whether that choice
-// was cost-driven (a different victim than plain LRU would have picked).
-func (c *ResultCache) Add(key string, req Request, res *Result) (evicted, costDriven bool) {
+// recording the result's recompute cost for the eviction policy. admitted is
+// false when the update-rate-aware admission policy refused the entry (its
+// class keeps being invalidated before reuse); evicted reports whether an
+// older entry was displaced to make room, and costDriven whether that choice
+// differed from the victim plain LRU would have picked.
+func (c *ResultCache) Add(key string, req Request, res *Result) (admitted, evicted, costDriven bool) {
 	return c.c.Add(key, req.Region, req.K, containClass(req.Variant, req.Opts), float64(res.Cost), res)
 }
 
@@ -190,8 +192,14 @@ func (c *ResultCache) Snapshot() []CacheEntry {
 }
 
 // EvictKeys removes the listed entries (if still resident), returning the
-// number actually evicted.
+// number actually evicted. It does not inform the admission policy — use
+// InvalidateKeys for update-driven staleness.
 func (c *ResultCache) EvictKeys(keys []string) int { return c.c.EvictKeys(keys) }
+
+// InvalidateKeys removes the listed entries because an update made them
+// stale, charging each removal to its class's admission ledger so classes
+// the update stream keeps killing stop being cached while the churn lasts.
+func (c *ResultCache) InvalidateKeys(keys []string) int { return c.c.InvalidateKeys(keys) }
 
 // Len is the current cache population.
 func (c *ResultCache) Len() int { return c.c.Len() }

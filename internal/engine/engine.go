@@ -213,6 +213,22 @@ type Stats struct {
 	Demotions       uint64
 	ShadowEvictions uint64
 	Rebuilds        uint64
+	// Streaming-maintenance counters. CoalescedOps counts update ops folded
+	// away inside a batch (each insert→delete pair of the same record counts
+	// both ops); AdmissionSkips counts results the cache's update-rate-aware
+	// admission policy refused. Exhaustions, Repairs, and RepairSteps are the
+	// dynamic skyband's coverage-maintenance counters (exhaustion fallbacks,
+	// completed incremental repairs, and the paced steps they ran);
+	// ShadowDepth is the current adaptive retention depth beyond MaxK, with
+	// ShadowGrows/ShadowShrinks counting its resizes.
+	CoalescedOps   uint64
+	AdmissionSkips uint64
+	Exhaustions    uint64
+	Repairs        uint64
+	RepairSteps    uint64
+	ShadowDepth    int
+	ShadowGrows    uint64
+	ShadowShrinks  uint64
 	// MaxK and Workers echo the effective configuration.
 	MaxK    int
 	Workers int
@@ -321,6 +337,8 @@ type Engine struct {
 	rejected      uint64
 	saturated     uint64
 	batches       uint64
+	coalesced     uint64
+	admSkips      uint64
 	active        int
 }
 
@@ -358,6 +376,11 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Streaming posture: repairs run chunked under deadline pacing instead of
+	// stalling one update on a monolithic reseed, and the shadow depth tracks
+	// the churn the workload actually applies.
+	dyn.EnableIncrementalRepair(0)
+	dyn.EnableAdaptiveShadow(cfg.ShadowDepth, 8*cfg.ShadowDepth)
 	e.dyn = dyn
 	e.dynStats = dyn.Stats()
 	ids, recs := dyn.Band()
@@ -535,13 +558,21 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 
 	// Validate delete ids against liveness (including ids assigned by
 	// earlier inserts of this batch) before touching anything, so a bad
-	// batch is a no-op.
+	// batch is a no-op. The same pass plans churn coalescing: an insert
+	// whose (predicted) id a later op of this batch deletes is a semantic
+	// no-op pair — the record is never live outside the batch — so both ops
+	// skip band maintenance entirely. The insert still consumes its id
+	// (SkipID below) to keep id assignment identical to the uncoalesced
+	// apply.
 	inserted := map[int]bool{}
 	deleted := map[int]bool{}
+	insPos := map[int]int{} // predicted insert id -> op index
+	coalesce := make([]bool, len(ops))
 	nextID := e.dyn.NextID()
-	for _, op := range ops {
+	for i, op := range ops {
 		if op.Kind == UpdateInsert {
 			inserted[nextID] = true
+			insPos[nextID] = i
 			nextID++
 			continue
 		}
@@ -549,6 +580,10 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 			return nil, ErrUnknownRecord
 		}
 		deleted[op.ID] = true
+		if j, ok := insPos[op.ID]; ok {
+			coalesce[j] = true
+			coalesce[i] = true
+		}
 	}
 
 	// Batch-aware probe state: the whole batch shares one starting-band id
@@ -572,7 +607,17 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 	var delProbes []pendingDelete
 	batchInserted := map[int]bool{}
 	bandChanged := false
+	coalescedOps := uint64(0)
 	for i, op := range ops {
+		if coalesce[i] {
+			if op.Kind == UpdateInsert {
+				ids[i] = e.dyn.SkipID()
+				coalescedOps += 2 // the pair: this insert and its delete
+			} else {
+				ids[i] = op.ID
+			}
+			continue
+		}
 		if op.Kind == UpdateInsert {
 			id, eff := e.dyn.Insert(op.Record)
 			ids[i] = id
@@ -660,9 +705,12 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 	}
 	e.mu.Lock()
 	e.batches++
+	e.coalesced += coalescedOps
 	e.dynStats = dynStats
 	if len(affected) > 0 {
-		e.invalidations += uint64(e.cache.EvictKeys(affected))
+		// InvalidateKeys (not EvictKeys) so the admission policy learns which
+		// classes this update stream keeps killing.
+		e.invalidations += uint64(e.cache.InvalidateKeys(affected))
 	}
 	if fresh != nil {
 		e.idx.Store(fresh)
@@ -754,7 +802,10 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 							// the current dataset.
 							if !e.updating {
 								if cur, ok := e.cache.Peek(srcKey); ok && cur == src {
-									ev, costly := e.cache.Add(key, req, res)
+									adm, ev, costly := e.cache.Add(key, req, res)
+									if !adm {
+										e.admSkips++
+									}
 									if ev {
 										e.evicted++
 									}
@@ -893,6 +944,14 @@ func (e *Engine) Stats() Stats {
 		Demotions:       ds.Demotions,
 		ShadowEvictions: ds.Evictions,
 		Rebuilds:        ds.Rebuilds,
+		CoalescedOps:    e.coalesced,
+		AdmissionSkips:  e.admSkips,
+		Exhaustions:     ds.Exhaustions,
+		Repairs:         ds.Repairs,
+		RepairSteps:     ds.RepairSteps,
+		ShadowDepth:     ds.ShadowDepth,
+		ShadowGrows:     ds.ShadowGrows,
+		ShadowShrinks:   ds.ShadowShrinks,
 		MaxK:            e.cfg.MaxK,
 		Workers:         e.cfg.Workers,
 	}
@@ -979,7 +1038,10 @@ func (e *Engine) finish(flKey, key string, fl *flight, res *Result, err error, r
 	e.mu.Lock()
 	delete(e.inflight, flKey)
 	if err == nil && e.cache != nil && !e.updating && res.Epoch == e.idx.Load().epoch {
-		ev, costly := e.cache.Add(key, req, res)
+		adm, ev, costly := e.cache.Add(key, req, res)
+		if !adm {
+			e.admSkips++
+		}
 		if ev {
 			e.evicted++
 		}

@@ -64,6 +64,12 @@ func Restore(st *State, cfg Config) (*Engine, error) {
 	if cfg.MaxK != st.Dyn.K {
 		return nil, errors.New("engine: config MaxK does not match state band depth")
 	}
+	// The caller's ShadowDepth is the adaptive base; the state's depth is the
+	// current (possibly grown) value and becomes the effective configuration.
+	base := cfg.ShadowDepth
+	if base < 1 {
+		base = cfg.MaxK
+	}
 	cfg.ShadowDepth = st.Dyn.ShadowDepth
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -72,6 +78,11 @@ func Restore(st *State, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Same streaming posture as New: chunked repair plus adaptive shadow
+	// (EnableAdaptiveShadow keeps the restored depth even when it exceeds the
+	// base-derived ceiling).
+	dyn.EnableIncrementalRepair(0)
+	dyn.EnableAdaptiveShadow(base, 8*base)
 	e := &Engine{
 		cfg:      cfg,
 		dim:      st.Dim,

@@ -28,6 +28,18 @@ const (
 	DefaultSnapshotEveryBytes = 64 << 20
 )
 
+// Wedge auto-heal schedule: after an append failure wedges an entry, the
+// update path itself retries the re-basing snapshot with exponential backoff
+// — a transient disk error clears without an operator, while a persistent
+// one stops being retried after healMaxRetries attempts and waits for a
+// manual Snapshot (the wedge never silently unwedges without a durable
+// snapshot succeeding).
+const (
+	healInitialBackoff = 100 * time.Millisecond
+	healMaxBackoff     = 5 * time.Second
+	healMaxRetries     = 8
+)
+
 func (p SnapshotPolicy) withDefaults() SnapshotPolicy {
 	if p.EveryOps == 0 {
 		p.EveryOps = DefaultSnapshotEveryOps
@@ -59,6 +71,11 @@ type DurabilityStats struct {
 	WALBytes         uint64 `json:"wal_bytes"`
 	SnapshotsWritten uint64 `json:"snapshots_written"`
 	SnapshotErrors   uint64 `json:"snapshot_errors,omitempty"`
+	// WedgeRetries counts auto-heal snapshot attempts made from the update
+	// path while wedged; WedgeAutoHealed counts wedges those attempts
+	// cleared without a manual snapshot.
+	WedgeRetries    uint64 `json:"wedge_retries,omitempty"`
+	WedgeAutoHealed uint64 `json:"wedge_auto_healed,omitempty"`
 	// ReplayedBatches/ReplayedOps and RecoveryMillis describe the recovery
 	// that produced this entry (zero for datasets created in-process).
 	ReplayedBatches uint64 `json:"replayed_batches"`
@@ -86,6 +103,8 @@ func (e *Entry) Durability(durable bool) DurabilityStats {
 		WALBytes:              e.walBytes,
 		SnapshotsWritten:      e.snapshotsWritten,
 		SnapshotErrors:        e.snapshotErrors,
+		WedgeRetries:          e.wedgeRetryCount,
+		WedgeAutoHealed:       e.wedgeAutoHealed,
 		ReplayedBatches:       e.replayedBatches,
 		ReplayedOps:           e.replayedOps,
 		RecoveryMillis:        e.recoveryMillis,
@@ -211,9 +230,36 @@ func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, e
 	}
 	ent.mu.Lock()
 	if ent.wedged != nil {
-		err := fmt.Errorf("registry: %s rejects updates until a snapshot succeeds (unlogged batch: %w)", name, ent.wedged)
-		ent.mu.Unlock()
-		return nil, err
+		// Bounded auto-heal: attempt the re-basing snapshot here, behind the
+		// backoff gate, so a transiently failing disk clears the wedge on a
+		// later update instead of rejecting forever until a manual snapshot.
+		healed := false
+		if r.st.Durable() && ent.wedgeRetries < healMaxRetries && !time.Now().Before(ent.wedgeNextTry) {
+			ent.dmu.Lock()
+			ent.wedgeRetryCount++
+			ent.dmu.Unlock()
+			if serr := r.snapshotEntry(ent); serr != nil {
+				ent.wedgeRetries++
+				ent.wedgeBackoff *= 2
+				if ent.wedgeBackoff > healMaxBackoff {
+					ent.wedgeBackoff = healMaxBackoff
+				}
+				ent.wedgeNextTry = time.Now().Add(ent.wedgeBackoff)
+				ent.dmu.Lock()
+				ent.snapshotErrors++
+				ent.dmu.Unlock()
+			} else {
+				healed = true
+				ent.dmu.Lock()
+				ent.wedgeAutoHealed++
+				ent.dmu.Unlock()
+			}
+		}
+		if !healed {
+			err := fmt.Errorf("registry: %s rejects updates until a snapshot succeeds (unlogged batch: %w)", name, ent.wedged)
+			ent.mu.Unlock()
+			return nil, err
+		}
 	}
 	res, err := ent.Engine.ApplyBatch(ops)
 	if err != nil {
@@ -224,6 +270,9 @@ func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, e
 	nbytes, err := r.st.Append(name, &store.Batch{Seq: seq, Epoch: res.Epoch, Ops: toEngineOps(ops)})
 	if err != nil {
 		ent.wedged = err
+		ent.wedgeRetries = 0
+		ent.wedgeBackoff = healInitialBackoff
+		ent.wedgeNextTry = time.Now().Add(healInitialBackoff)
 		ent.dmu.Lock()
 		ent.wedgedFlag = true
 		ent.dmu.Unlock()
@@ -292,6 +341,9 @@ func (r *Registry) snapshotEntry(ent *Entry) error {
 		return err
 	}
 	ent.wedged = nil
+	ent.wedgeRetries = 0
+	ent.wedgeBackoff = 0
+	ent.wedgeNextTry = time.Time{}
 	ent.dmu.Lock()
 	ent.wedgedFlag = false
 	ent.snapshotsWritten++

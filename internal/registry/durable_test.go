@@ -3,6 +3,7 @@ package registry
 import (
 	"errors"
 	"testing"
+	"time"
 
 	utk "repro"
 	"repro/internal/dataset"
@@ -136,6 +137,140 @@ func TestAutoSnapshotPolicy(t *testing.T) {
 	}
 	if got := ent2.Engine.Stats().Live; got != 72 {
 		t.Fatalf("recovered live = %d, want 72", got)
+	}
+}
+
+// flakyStore wraps a real store with injectable append/snapshot failures, so
+// the wedge and auto-heal paths run against genuine durable state.
+type flakyStore struct {
+	store.Store
+	failAppends   int
+	failSnapshots int
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *flakyStore) Append(name string, b *store.Batch) (int64, error) {
+	if f.failAppends > 0 {
+		f.failAppends--
+		return 0, errInjected
+	}
+	return f.Store.Append(name, b)
+}
+
+func (f *flakyStore) WriteSnapshot(name string, snap *store.Snapshot) error {
+	if f.failSnapshots > 0 {
+		f.failSnapshots--
+		return errInjected
+	}
+	return f.Store.WriteSnapshot(name, snap)
+}
+
+// armHeal opens the auto-heal backoff gate so the next Update attempts the
+// re-basing snapshot immediately (the schedule itself is wall-clock).
+func armHeal(ent *Entry) {
+	ent.mu.Lock()
+	ent.wedgeNextTry = time.Time{}
+	ent.mu.Unlock()
+}
+
+// TestWedgeAutoHeal pins the bounded self-healing of a wedged entry: a
+// transient append failure wedges the dataset, the update path retries the
+// re-basing snapshot behind a backoff gate, a transient snapshot failure
+// keeps the wedge (counted), a later attempt heals it without a manual
+// snapshot, and a persistent failure stops being retried after the attempt
+// budget — manual Snapshot remains the only way out then.
+func TestWedgeAutoHeal(t *testing.T) {
+	dir := t.TempDir()
+	base, err := store.OpenFile(dir, store.FileConfig{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	fs := &flakyStore{Store: base}
+	reg := NewWithStore(fs, SnapshotPolicy{})
+	recs := dataset.Synthetic(dataset.IND, 50, 3, 4)
+	if _, err := reg.Create("ds", recs, Options{MaxK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ins := []utk.UpdateOp{{Kind: utk.UpdateInsert, Record: []float64{0.5, 0.5, 0.5}}}
+	ent, _ := reg.Get("ds")
+
+	// Wedge: the append fails, the update is applied but rejected as
+	// not-durable, and further updates bounce off the wedge.
+	fs.failAppends = 1
+	if _, err := reg.Update("ds", ins); !errors.Is(err, errInjected) {
+		t.Fatalf("update with failing append: %v", err)
+	}
+	if d := ent.Durability(true); !d.Wedged {
+		t.Fatal("entry not wedged after append failure")
+	}
+	// Within the backoff window no heal is attempted.
+	if _, err := reg.Update("ds", ins); err == nil {
+		t.Fatal("update accepted while wedged inside the backoff window")
+	}
+	if d := ent.Durability(true); d.WedgeRetries != 0 {
+		t.Fatalf("heal attempted inside the backoff window: %+v", d)
+	}
+
+	// First armed attempt fails (transient snapshot error): still wedged,
+	// attempt counted, backoff grows.
+	fs.failSnapshots = 1
+	armHeal(ent)
+	if _, err := reg.Update("ds", ins); err == nil {
+		t.Fatal("update accepted although the healing snapshot failed")
+	}
+	d := ent.Durability(true)
+	if !d.Wedged || d.WedgeRetries != 1 || d.WedgeAutoHealed != 0 || d.SnapshotErrors != 1 {
+		t.Fatalf("after failed heal attempt: %+v", d)
+	}
+
+	// Second armed attempt succeeds: the wedge clears and the same update
+	// call is applied and logged.
+	armHeal(ent)
+	res, err := reg.Update("ds", ins)
+	if err != nil {
+		t.Fatalf("update after heal: %v", err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("healed update result: %+v", res)
+	}
+	d = ent.Durability(true)
+	if d.Wedged || d.WedgeAutoHealed != 1 || d.WedgeRetries != 2 {
+		t.Fatalf("after successful heal: %+v", d)
+	}
+	if d.WALAppends != 1 {
+		t.Fatalf("healed update not logged: %+v", d)
+	}
+
+	// Persistent failure: the attempt budget bounds retries; once spent, no
+	// more snapshots are attempted from the update path.
+	fs.failAppends = 1
+	fs.failSnapshots = 1 << 30
+	if _, err := reg.Update("ds", ins); !errors.Is(err, errInjected) {
+		t.Fatalf("update with failing append: %v", err)
+	}
+	for i := 0; i < healMaxRetries+3; i++ {
+		armHeal(ent)
+		if _, err := reg.Update("ds", ins); err == nil {
+			t.Fatalf("attempt %d: update accepted while snapshots keep failing", i)
+		}
+	}
+	d = ent.Durability(true)
+	if !d.Wedged {
+		t.Fatal("persistently failing entry unwedged itself")
+	}
+	if got := d.WedgeRetries - 2; got != healMaxRetries {
+		t.Fatalf("heal attempts after budget = %d, want %d", got, healMaxRetries)
+	}
+
+	// Manual snapshot remains the operator path out.
+	fs.failSnapshots = 0
+	if _, err := reg.Snapshot("ds"); err != nil {
+		t.Fatalf("manual snapshot: %v", err)
+	}
+	if _, err := reg.Update("ds", ins); err != nil {
+		t.Fatalf("update after manual snapshot: %v", err)
 	}
 }
 

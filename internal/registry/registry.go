@@ -63,6 +63,14 @@ type Entry struct {
 	// (updates are rejected until a successful snapshot re-bases it).
 	seq    uint64
 	wedged error
+	// Auto-heal state for a wedged entry (guarded by mu, like wedged): the
+	// update path retries the re-basing snapshot itself with exponential
+	// backoff, up to healMaxRetries attempts, so a transient disk error
+	// clears without an operator. wedgeNextTry gates the next attempt;
+	// wedgeRetries counts failed attempts since the wedge.
+	wedgeRetries int
+	wedgeBackoff time.Duration
+	wedgeNextTry time.Time
 
 	// dmu guards the durability counters below, so stats reads never queue
 	// behind an in-progress apply or snapshot.
@@ -73,6 +81,8 @@ type Entry struct {
 	walBytes          uint64
 	snapshotsWritten  uint64
 	snapshotErrors    uint64
+	wedgeRetryCount   uint64
+	wedgeAutoHealed   uint64
 	replayedBatches   uint64
 	replayedOps       uint64
 	recoveryMillis    int64

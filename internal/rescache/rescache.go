@@ -5,17 +5,25 @@
 //
 //  1. Cost-aware eviction. Entries are not equal: a UTK2 partitioning takes
 //     milliseconds of refinement to recompute while a UTK1 id-list is often
-//     microseconds. Each entry records its measured recompute cost, and on
-//     overflow the cache evicts the entry whose retained value — recompute
-//     cost scaled down by staleness — is smallest. Cheap, stale entries
-//     churn; expensive partitionings stay resident even when they are not
+//     microseconds. Eviction is Greedy-Dual: each entry carries a retention
+//     priority H = L + cost, where L is a floor that inflates to the evicted
+//     victim's H on every eviction. Cheap entries age out as L passes their
+//     priority; expensive partitionings stay resident even when they are not
 //     the most recent, which plain LRU cannot express. With equal costs the
-//     policy degenerates to exactly LRU.
+//     policy degenerates to exactly LRU. Victims come off a min-heap, so an
+//     overflow costs O(log n) instead of the O(n) scan the first version
+//     shipped with.
 //  2. A containment index. Entries are grouped by a caller-defined class
 //     (variant + algorithm flags) and top-k depth, so a cache miss can ask
 //     for a cached entry whose query region contains the missed query's
 //     region. The caller then derives the answer geometrically (cell
 //     clipping, see ClipCell) instead of recomputing it.
+//  3. Update-rate-aware admission. Each class tracks an exponentially
+//     decayed count of update-driven invalidations versus admissions; when
+//     the update stream keeps killing a class's entries faster than queries
+//     re-admit them, new entries of that class are refused outright — under
+//     sustained churn, caching them is pure overhead (they die before any
+//     hit) and their admissions would evict classes that survive.
 //
 // The cache is NOT safe for concurrent use; callers serialize access under
 // their own mutex, exactly as the serving engines do. Staleness is measured
@@ -30,13 +38,34 @@ import (
 	"repro/internal/lp"
 )
 
-// Cache is a bounded result cache with cost-aware eviction and a containment
-// index over the cached query regions.
+// Admission policy knobs: a class is refused admission once its decayed
+// invalidation count is both non-trivial (≥ admissionMinInvs) and more than
+// admissionRatio times its decayed hit count — i.e. the update stream keeps
+// killing the class's entries before queries ever reuse them, so caching the
+// class is pure overhead and its admissions would only evict classes that
+// survive. The counts decay with a half-life of invHalfLife logical ticks, so
+// a class that was churning recovers admission once the update storm passes.
+const (
+	admissionMinInvs = 4
+	admissionRatio   = 2.0
+	invHalfLife      = 512
+)
+
+// Cache is a bounded result cache with Greedy-Dual cost-aware eviction, an
+// update-rate-aware admission policy, and a containment index over the cached
+// query regions.
 type Cache struct {
 	cap    int
 	tick   uint64
 	m      map[string]*entry
 	groups map[groupKey][]*entry
+	heap   []*entry // min-heap on (prio, last, key): the next victim is heap[0]
+	// Recency list, head = most recent. Only consulted to report whether an
+	// eviction was cost-driven (victim ≠ the LRU tail) — the policy itself
+	// never walks it.
+	head, tail *entry
+	infl       float64 // Greedy-Dual floor L: the last victim's priority
+	stats      map[groupKey]*classStats
 }
 
 // groupKey buckets entries for containment lookups: only entries of the same
@@ -46,14 +75,28 @@ type groupKey struct {
 	k     int
 }
 
+// classStats is the admission ledger for one class: decayed counts of
+// update-driven invalidations and of hits, with the tick of the last decay
+// so the decay is applied lazily.
+type classStats struct {
+	invs float64
+	hits float64
+	last uint64
+}
+
 type entry struct {
 	key    string
 	region *geom.Region
 	k      int
 	class  uint32
 	cost   float64
-	last   uint64 // logical time of last use
+	last   uint64  // logical time of last use
+	prio   float64 // Greedy-Dual priority: floor at last touch + cost
+	hix    int     // index in the eviction heap
+	gix    int     // index in the containment group's slice
 	val    any
+	// neighbors in the recency list
+	prev, next *entry
 }
 
 // Entry is one resident row as seen by an invalidation scan: the key to
@@ -70,6 +113,8 @@ func New(capacity int) *Cache {
 		cap:    capacity,
 		m:      make(map[string]*entry, capacity),
 		groups: make(map[groupKey][]*entry),
+		heap:   make([]*entry, 0, capacity),
+		stats:  make(map[groupKey]*classStats),
 	}
 }
 
@@ -79,13 +124,24 @@ func (c *Cache) now() uint64 {
 	return c.tick
 }
 
+// touch marks the entry used: its recency refreshes and its priority is
+// re-anchored to the current floor, so a hot entry keeps outliving the floor
+// inflation that ages out untouched ones.
+func (c *Cache) touch(e *entry) {
+	e.last = c.now()
+	e.prio = c.infl + e.cost
+	c.heapFix(e)
+	c.listMoveFront(e)
+}
+
 // Get returns the value cached under the key, refreshing its recency.
 func (c *Cache) Get(key string) (any, bool) {
 	e, ok := c.m[key]
 	if !ok {
 		return nil, false
 	}
-	e.last = c.now()
+	c.touch(e)
+	c.classStat(groupKey{class: e.class, k: e.k}).hits++
 	return e.val, true
 }
 
@@ -100,59 +156,71 @@ func (c *Cache) Peek(key string) (any, bool) {
 	return e.val, true
 }
 
-// score is the eviction key: what evicting the entry loses, per tick of
-// staleness. Low cost and long idleness both push an entry toward eviction;
-// with equal costs the minimum score is exactly the least-recently-used
-// entry, so the policy is a strict generalization of LRU.
-func (c *Cache) score(e *entry) float64 {
-	return e.cost / float64(c.tick-e.last+1)
+// classStat returns the admission ledger for the group, decayed to the
+// current tick. Counts halve every invHalfLife ticks, applied lazily here so
+// the hit path never pays for idle classes.
+func (c *Cache) classStat(gk groupKey) *classStats {
+	st := c.stats[gk]
+	if st == nil {
+		st = &classStats{last: c.tick}
+		c.stats[gk] = st
+		return st
+	}
+	if dt := c.tick - st.last; dt > 0 {
+		f := math.Exp2(-float64(dt) / invHalfLife)
+		st.invs *= f
+		st.hits *= f
+		st.last = c.tick
+	}
+	return st
 }
 
 // Add inserts (or refreshes) an entry. cost is the measured recompute cost
-// of the value (any positive unit; values below 1 are clamped so staleness
-// always discriminates). It reports whether an older entry was evicted to
-// make room, and whether that eviction was cost-driven — i.e. the victim was
-// not the entry plain LRU would have chosen.
-func (c *Cache) Add(key string, region *geom.Region, k int, class uint32, cost float64, val any) (evicted, costDriven bool) {
+// of the value (any positive unit; values below 1 are clamped so the floor
+// inflation always discriminates). admitted reports whether the entry is
+// resident afterwards — false means the admission policy refused it because
+// the update stream has been invalidating its class's entries before queries
+// reuse them. evicted reports whether an older entry was displaced to make
+// room, and costDriven whether that victim differed from the one plain LRU
+// would have chosen.
+func (c *Cache) Add(key string, region *geom.Region, k int, class uint32, cost float64, val any) (admitted, evicted, costDriven bool) {
 	if cost < 1 {
 		cost = 1
 	}
 	if e, ok := c.m[key]; ok {
 		e.val, e.cost = val, cost
-		e.last = c.now()
-		return false, false
+		c.touch(e)
+		return true, false, false
 	}
-	e := &entry{key: key, region: region, k: k, class: class, cost: cost, val: val, last: c.now()}
-	c.m[key] = e
 	gk := groupKey{class: class, k: k}
+	last := c.now()
+	st := c.classStat(gk)
+	if st.invs >= admissionMinInvs && st.invs > admissionRatio*(st.hits+1) {
+		return false, false, false
+	}
+	e := &entry{key: key, region: region, k: k, class: class, cost: cost, val: val, last: last, prio: c.infl + cost}
+	c.m[key] = e
+	e.gix = len(c.groups[gk])
 	c.groups[gk] = append(c.groups[gk], e)
+	c.heapPush(e)
+	c.listPushFront(e)
 	if len(c.m) <= c.cap {
-		return false, false
+		return true, false, false
 	}
-	// Overflow: evict the minimum-score resident. The just-added entry is
-	// exempt (it is the reason for the eviction, and with age zero its raw
-	// cost would make the comparison meaningless); everything else competes.
-	// Ties break toward the staler entry, then the smaller key, so the
-	// choice is deterministic under the logical clock.
-	var victim, lru *entry
-	for _, cand := range c.m {
-		if cand == e {
-			continue
-		}
-		if lru == nil || cand.last < lru.last {
-			lru = cand
-		}
-		if victim == nil {
-			victim = cand
-			continue
-		}
-		cs, vs := c.score(cand), c.score(victim)
-		if cs < vs || (cs == vs && (cand.last < victim.last || (cand.last == victim.last && cand.key < victim.key))) {
-			victim = cand
-		}
-	}
+	// Overflow: evict the minimum-priority resident. The just-added entry is
+	// exempt (it is the reason for the eviction), so it steps out of the heap
+	// while the victim is chosen. The heap tie-breaks equal priorities toward
+	// the staler entry, then the smaller key, so the choice is deterministic
+	// under the logical clock — and with equal costs the minimum priority is
+	// exactly the least-recently-used entry. The floor inflates to the
+	// victim's priority, which is what ages resident-but-cold entries.
+	c.heapRemove(e)
+	victim := c.heap[0]
+	costDriven = victim != c.tail
+	c.infl = victim.prio
 	c.remove(victim)
-	return true, victim != lru
+	c.heapPush(e)
+	return true, true, costDriven
 }
 
 // FindContaining returns a cached value of the given class and depth whose
@@ -170,7 +238,8 @@ func (c *Cache) FindContaining(class uint32, k int, r *geom.Region) (val any, ke
 	if best == nil {
 		return nil, "", false
 	}
-	best.last = c.now()
+	c.touch(best)
+	c.classStat(groupKey{class: best.class, k: best.k}).hits++
 	return best.val, best.key, true
 }
 
@@ -185,7 +254,9 @@ func (c *Cache) Snapshot() []Entry {
 }
 
 // EvictKeys removes the listed entries (if still resident), returning the
-// number actually evicted.
+// number actually evicted. It does not touch the admission ledgers — use it
+// for removals that say nothing about the update stream (capacity trims,
+// shutdown). Update-driven invalidation goes through InvalidateKeys.
 func (c *Cache) EvictKeys(keys []string) int {
 	n := 0
 	for _, key := range keys {
@@ -197,27 +268,160 @@ func (c *Cache) EvictKeys(keys []string) int {
 	return n
 }
 
+// InvalidateKeys removes the listed entries because an update made their
+// values stale, returning the number actually removed. Each removal is
+// charged to its class's admission ledger; a class whose entries keep dying
+// here loses admission eligibility until the churn decays away.
+func (c *Cache) InvalidateKeys(keys []string) int {
+	n := 0
+	for _, key := range keys {
+		e, ok := c.m[key]
+		if !ok {
+			continue
+		}
+		c.now()
+		c.classStat(groupKey{class: e.class, k: e.k}).invs++
+		c.remove(e)
+		n++
+	}
+	return n
+}
+
 // Len is the current cache population.
 func (c *Cache) Len() int { return len(c.m) }
 
-// remove deletes the entry from the key map and its containment group.
+// remove deletes the entry from the key map, the eviction heap, the recency
+// list, and its containment group.
 func (c *Cache) remove(e *entry) {
 	delete(c.m, e.key)
+	if e.hix >= 0 {
+		c.heapRemove(e)
+	}
+	c.listRemove(e)
 	gk := groupKey{class: e.class, k: e.k}
 	g := c.groups[gk]
-	for i, cand := range g {
-		if cand == e {
-			g[i] = g[len(g)-1]
-			g[len(g)-1] = nil
-			g = g[:len(g)-1]
-			break
-		}
+	last := len(g) - 1
+	if e.gix != last {
+		g[e.gix] = g[last]
+		g[e.gix].gix = e.gix
 	}
+	g[last] = nil
+	g = g[:last]
 	if len(g) == 0 {
 		delete(c.groups, gk)
 	} else {
 		c.groups[gk] = g
 	}
+}
+
+// Eviction heap: a min-heap on (prio, last, key). Equal priorities break
+// toward the staler entry — with equal costs every priority is the floor at
+// touch time plus the same constant, so the heap order is exactly recency
+// order and the policy degenerates to LRU.
+
+func (c *Cache) heapLess(a, b *entry) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.last != b.last {
+		return a.last < b.last
+	}
+	return a.key < b.key
+}
+
+func (c *Cache) heapSwap(i, j int) {
+	h := c.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].hix = i
+	h[j].hix = j
+}
+
+func (c *Cache) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.heapLess(c.heap[i], c.heap[p]) {
+			return
+		}
+		c.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (c *Cache) heapDown(i int) {
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < len(c.heap) && c.heapLess(c.heap[l], c.heap[s]) {
+			s = l
+		}
+		if r < len(c.heap) && c.heapLess(c.heap[r], c.heap[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		c.heapSwap(i, s)
+		i = s
+	}
+}
+
+func (c *Cache) heapPush(e *entry) {
+	e.hix = len(c.heap)
+	c.heap = append(c.heap, e)
+	c.heapUp(e.hix)
+}
+
+func (c *Cache) heapRemove(e *entry) {
+	i, n := e.hix, len(c.heap)-1
+	if i != n {
+		c.heapSwap(i, n)
+	}
+	c.heap[n] = nil
+	c.heap = c.heap[:n]
+	if i != n {
+		c.heapDown(i)
+		c.heapUp(i)
+	}
+	e.hix = -1
+}
+
+// heapFix restores heap order after e's priority changed in place.
+func (c *Cache) heapFix(e *entry) {
+	c.heapDown(e.hix)
+	c.heapUp(e.hix)
+}
+
+// Recency list maintenance (head = most recent, tail = LRU).
+
+func (c *Cache) listPushFront(e *entry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	} else {
+		c.tail = e
+	}
+	c.head = e
+}
+
+func (c *Cache) listRemove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) listMoveFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.listRemove(e)
+	c.listPushFront(e)
 }
 
 // ClipCell clips one convex cell — given by its bounding half-spaces and a

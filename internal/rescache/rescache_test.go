@@ -2,6 +2,7 @@ package rescache
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/geom"
@@ -22,8 +23,8 @@ func TestGetAddRefresh(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	if ev, _ := c.Add("a", r, 3, 1, 10, "va"); ev {
-		t.Fatal("eviction below capacity")
+	if adm, ev, _ := c.Add("a", r, 3, 1, 10, "va"); !adm || ev {
+		t.Fatalf("admitted=%v evicted=%v below capacity", adm, ev)
 	}
 	if v, ok := c.Get("a"); !ok || v != "va" {
 		t.Fatalf("get = %v, %v", v, ok)
@@ -46,7 +47,7 @@ func TestCostAwareEviction(t *testing.T) {
 	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
 	c.Add("expensive-old", r, 3, 1, 1e6, "utk2")
 	c.Add("cheap-new", r, 4, 1, 10, "utk1")
-	ev, costDriven := c.Add("overflow", r, 5, 1, 10, "utk1")
+	_, ev, costDriven := c.Add("overflow", r, 5, 1, 10, "utk1")
 	if !ev {
 		t.Fatal("no eviction on overflow")
 	}
@@ -69,7 +70,7 @@ func TestEqualCostsDegenerateToLRU(t *testing.T) {
 	c.Add("a", r, 3, 1, 50, "va")
 	c.Add("b", r, 4, 1, 50, "vb")
 	c.Get("a") // a is now more recent than b
-	ev, costDriven := c.Add("c", r, 5, 1, 50, "vc")
+	_, ev, costDriven := c.Add("c", r, 5, 1, 50, "vc")
 	if !ev || costDriven {
 		t.Fatalf("evicted=%v costDriven=%v, want plain LRU eviction", ev, costDriven)
 	}
@@ -184,6 +185,158 @@ func TestSnapshotAndPeek(t *testing.T) {
 	small.Add("c", r2, 6, 1, 10, "vc")
 	if _, ok := small.Peek("a"); ok {
 		t.Fatal("peek refreshed recency: stale entry survived")
+	}
+}
+
+// TestFloorInflationAgesExpensive: Greedy-Dual must not pin an expensive
+// entry forever — each eviction inflates the floor, so an untouched
+// expensive entry is eventually the cheapest resident and goes too.
+func TestFloorInflationAgesExpensive(t *testing.T) {
+	c := New(2)
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	c.Add("gold", r, 3, 1, 1000, "v")
+	for i := 0; i < 60; i++ {
+		c.Add(fmt.Sprintf("c%d", i), r, 3, 1, 100, "v")
+		if _, ok := c.Peek("gold"); !ok {
+			return
+		}
+	}
+	t.Fatal("expensive untouched entry survived 60 cheap evictions")
+}
+
+// TestAdmissionUnderChurn pins the update-rate-aware admission policy: a
+// class whose entries the update stream keeps invalidating before any hit is
+// refused admission; hits defend a class; other classes are unaffected; and
+// the refusal decays away once the churn stops.
+func TestAdmissionUnderChurn(t *testing.T) {
+	c := New(8)
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	skipped := -1
+	for i := 0; i < 12; i++ {
+		adm, _, _ := c.Add("k", r, 3, 1, 10, i)
+		if !adm {
+			skipped = i
+			break
+		}
+		if n := c.InvalidateKeys([]string{"k"}); n != 1 {
+			t.Fatalf("cycle %d: invalidated %d, want 1", i, n)
+		}
+	}
+	if skipped < 0 {
+		t.Fatal("admission never refused under pure admit→invalidate churn")
+	}
+	// A different class is untouched by class 1's ledger.
+	if adm, _, _ := c.Add("other", r, 3, 2, 10, "v"); !adm {
+		t.Fatal("unrelated class refused admission")
+	}
+	// Hits defend a class: the same churn with reuse between admission and
+	// invalidation keeps the class admissible throughout.
+	hot := New(8)
+	for i := 0; i < 40; i++ {
+		adm, _, _ := hot.Add("k", r, 3, 1, 10, i)
+		if !adm {
+			t.Fatalf("cycle %d: class with hits refused admission", i)
+		}
+		for j := 0; j < 3; j++ {
+			if _, ok := hot.Get("k"); !ok {
+				t.Fatal("resident entry missed")
+			}
+		}
+		hot.InvalidateKeys([]string{"k"})
+	}
+	// Recovery: once the churn stops, the invalidation ledger decays and the
+	// class becomes admissible again. Ticks advance one per cache operation.
+	for i := 0; i < 6000; i++ {
+		c.Add(fmt.Sprintf("w%d", i), r, 3, 2, 10, "v")
+	}
+	if adm, _, _ := c.Add("k2", r, 3, 1, 10, "v"); !adm {
+		t.Fatal("admission did not recover after the churn decayed")
+	}
+}
+
+// TestEvictionPicksMinPriority cross-checks the heap-based victim selection
+// against a brute-force minimum over the residents, and verifies the heap,
+// recency-list, and index invariants after every operation of a randomized
+// add/get/invalidate mix.
+func TestEvictionPicksMinPriority(t *testing.T) {
+	c := New(16)
+	rng := rand.New(rand.NewSource(42))
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	resident := []string{}
+	verify := func(step int) {
+		t.Helper()
+		if len(c.heap) != len(c.m) {
+			t.Fatalf("step %d: heap %d vs map %d", step, len(c.heap), len(c.m))
+		}
+		n := 0
+		for e := c.head; e != nil; e = e.next {
+			n++
+		}
+		if n != len(c.m) {
+			t.Fatalf("step %d: recency list %d vs map %d", step, n, len(c.m))
+		}
+		for i, e := range c.heap {
+			if e.hix != i {
+				t.Fatalf("step %d: entry %q heap index %d at slot %d", step, e.key, e.hix, i)
+			}
+			if i > 0 && c.heapLess(e, c.heap[(i-1)/2]) {
+				t.Fatalf("step %d: heap order violated at slot %d", step, i)
+			}
+		}
+	}
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(4); {
+		case op <= 1: // add a fresh key
+			var want *entry
+			if c.Len() == c.cap {
+				for _, e := range c.heap {
+					if want == nil || c.heapLess(e, want) {
+						want = e
+					}
+				}
+			}
+			key := fmt.Sprintf("k%d", step)
+			adm, ev, _ := c.Add(key, r, 3, uint32(rng.Intn(3)), float64(1+rng.Intn(100)), step)
+			if adm {
+				resident = append(resident, key)
+			}
+			if ev {
+				if want == nil {
+					t.Fatalf("step %d: eviction reported below capacity", step)
+				}
+				if _, ok := c.Peek(want.key); ok {
+					t.Fatalf("step %d: expected min-priority victim %q still resident", step, want.key)
+				}
+			}
+		case op == 2 && len(resident) > 0:
+			c.Get(resident[rng.Intn(len(resident))])
+		case op == 3 && len(resident) > 0:
+			c.InvalidateKeys([]string{resident[rng.Intn(len(resident))]})
+		}
+		verify(step)
+	}
+}
+
+// BenchmarkCacheAddOverflow pins the satellite fix: every Add at capacity
+// evicts via the heap in O(log n), where the first version scanned all
+// resident entries. Compare per-op times across the capacity sub-benchmarks —
+// they must stay in the same league, not scale with capacity.
+func BenchmarkCacheAddOverflow(b *testing.B) {
+	r, err := geom.NewBox([]float64{0.1, 0.1}, []float64{0.2, 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, capacity := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			c := New(capacity)
+			for i := 0; i < capacity; i++ {
+				c.Add(fmt.Sprintf("seed%d", i), r, 3, 1, float64(1+i%97), i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Add(fmt.Sprintf("k%d", i), r, 3, 1, float64(1+i%97), i)
+			}
+		})
 	}
 }
 

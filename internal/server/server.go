@@ -523,6 +523,14 @@ func engineStatsPayload(st utk.EngineStats) map[string]any {
 		"demotions":        st.Demotions,
 		"shadow_evictions": st.ShadowEvictions,
 		"rebuilds":         st.Rebuilds,
+		"coalesced_ops":    st.CoalescedOps,
+		"admission_skips":  st.AdmissionSkips,
+		"exhaustions":      st.Exhaustions,
+		"repairs":          st.Repairs,
+		"repair_steps":     st.RepairSteps,
+		"shadow_depth":     st.ShadowDepth,
+		"shadow_grows":     st.ShadowGrows,
+		"shadow_shrinks":   st.ShadowShrinks,
 		"max_k":            st.MaxK,
 		"workers":          st.Workers,
 		"shards":           st.Shards,
@@ -620,6 +628,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"utk_inserts_total", "Applied record inserts.", "counter", func(st utk.EngineStats) any { return st.Inserts }},
 		{"utk_deletes_total", "Applied record deletes.", "counter", func(st utk.EngineStats) any { return st.Deletes }},
 		{"utk_update_batches_total", "Applied update batches.", "counter", func(st utk.EngineStats) any { return st.UpdateBatches }},
+		{"utk_coalesced_ops_total", "Batch ops elided by same-record insert/delete coalescing.", "counter", func(st utk.EngineStats) any { return st.CoalescedOps }},
+		{"utk_admission_skips_total", "Result-cache admissions refused for churning query classes.", "counter", func(st utk.EngineStats) any { return st.AdmissionSkips }},
+		{"utk_exhaustions_total", "Shadow exhaustions forcing a candidate reseed.", "counter", func(st utk.EngineStats) any { return st.Exhaustions }},
+		{"utk_repair_steps_total", "Chunked incremental-reseed steps executed.", "counter", func(st utk.EngineStats) any { return st.RepairSteps }},
+		{"utk_shadow_depth", "Current adaptive shadow retention depth (deepest shard).", "gauge", func(st utk.EngineStats) any { return st.ShadowDepth }},
 	}
 	for _, sr := range perDataset {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.kind)
@@ -644,6 +657,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"utk_last_snapshot_seq", "Batch sequence the last snapshot covers.", "gauge", func(d registry.DurabilityStats) any { return d.LastSnapshotSeq }},
 		{"utk_last_snapshot_epoch", "Index epoch captured by the last snapshot.", "gauge", func(d registry.DurabilityStats) any { return d.LastSnapshotEpoch }},
 		{"utk_ops_since_snapshot", "Logged ops a crash right now would replay.", "gauge", func(d registry.DurabilityStats) any { return d.OpsSinceSnapshot }},
+		{"utk_wedge_retries_total", "Auto-heal snapshot attempts made while wedged.", "counter", func(d registry.DurabilityStats) any { return d.WedgeRetries }},
+		{"utk_wedge_auto_healed_total", "Wedges cleared by a successful auto-heal snapshot.", "counter", func(d registry.DurabilityStats) any { return d.WedgeAutoHealed }},
 	}
 	for _, sr := range durability {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.kind)

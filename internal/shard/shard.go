@@ -131,6 +131,7 @@ type Engine struct {
 	rejected      uint64
 	saturated     uint64
 	batches       uint64
+	admSkips      uint64
 	active        int
 }
 
@@ -507,7 +508,9 @@ func (s *Engine) invalidate(inserted map[int]place, deleted map[int]bool, delPro
 
 	s.mu.Lock()
 	if len(affected) > 0 {
-		s.invalidations += uint64(s.cache.EvictKeys(affected))
+		// InvalidateKeys (not EvictKeys) so the admission policy learns which
+		// classes this update stream keeps killing.
+		s.invalidations += uint64(s.cache.InvalidateKeys(affected))
 	}
 	s.mu.Unlock()
 }
@@ -713,7 +716,10 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 						s.derived++
 						s.queries++
 						if seq0%2 == 0 && s.seq.Load() == seq0 {
-							ev, costly := s.cache.Add(key, req, res)
+							adm, ev, costly := s.cache.Add(key, req, res)
+							if !adm {
+								s.admSkips++
+							}
 							if ev {
 								s.evicted++
 							}
@@ -810,7 +816,10 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 	// anywhere inside the window, so the result reflects the current state
 	// and cannot have missed an invalidation probe.
 	if s.cache != nil && seq0%2 == 0 && s.seq.Load() == seq0 {
-		ev, costly := s.cache.Add(key, req, res)
+		adm, ev, costly := s.cache.Add(key, req, res)
+		if !adm {
+			s.admSkips++
+		}
 		if ev {
 			s.evicted++
 		}
@@ -965,6 +974,17 @@ func (s *Engine) Stats() engine.Stats {
 		agg.Demotions += st.Demotions
 		agg.ShadowEvictions += st.ShadowEvictions
 		agg.Rebuilds += st.Rebuilds
+		agg.CoalescedOps += st.CoalescedOps
+		agg.Exhaustions += st.Exhaustions
+		agg.Repairs += st.Repairs
+		agg.RepairSteps += st.RepairSteps
+		agg.ShadowGrows += st.ShadowGrows
+		agg.ShadowShrinks += st.ShadowShrinks
+		// The deepest per-shard retention: how far beyond MaxK any shard has
+		// had to grow to absorb its churn.
+		if st.ShadowDepth > agg.ShadowDepth {
+			agg.ShadowDepth = st.ShadowDepth
+		}
 	}
 	s.mu.Lock()
 	agg.Queries = s.queries
@@ -977,6 +997,7 @@ func (s *Engine) Stats() engine.Stats {
 	agg.Invalidations = s.invalidations
 	agg.Rejected = s.rejected
 	agg.Saturated = s.saturated
+	agg.AdmissionSkips = s.admSkips
 	agg.InFlight = s.active
 	agg.UpdateBatches = s.batches
 	if s.cache != nil {

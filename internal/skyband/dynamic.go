@@ -38,9 +38,24 @@ import (
 // only when c was below the current coverage (otherwise every record the
 // deletion touches still has at least coverage dominators). When coverage
 // would drop below k the band itself is no longer trustworthy and the
-// structure falls back to a full recomputation over the live records,
-// restoring coverage to capK. A deeper shadow (larger shadowDepth) buys more
+// structure falls back to a recomputation over the live records, restoring
+// coverage to capK. A deeper shadow (larger shadowDepth) buys more
 // skyline-area deletions between rebuilds.
+//
+// Two opt-in mechanisms bound the worst case under sustained churn:
+//
+//   - EnableIncrementalRepair spreads the coverage restoration over many
+//     updates: when coverage erodes into the lower half of the shadow, a
+//     background scan screens the non-member population in chunks against
+//     the (exact-count) member set, and on completion splices the surviving
+//     candidates back in at a depth discounted by the deletes that ran
+//     concurrently with the scan. Exhaustion then usually finds a repair in
+//     flight and drains it instead of rescanning from scratch.
+//
+//   - EnableAdaptiveShadow resizes the shadow with the workload: the depth
+//     doubles when exhaustions arrive faster than a frequency threshold
+//     (making future exhaustions geometrically rarer) and halves back toward
+//     the configured base after long idle stretches.
 //
 // Dynamic is not safe for concurrent use; callers serialize access.
 type Dynamic struct {
@@ -54,12 +69,60 @@ type Dynamic struct {
 	band   int               // members with count < k
 	nextID int
 
-	inserts    uint64
-	deletes    uint64
-	promotions uint64
-	demotions  uint64
-	evictions  uint64
-	rebuilds   uint64
+	// Incremental repair (EnableIncrementalRepair). While repairing, scanIDs
+	// is a snapshot of the non-member ids at repair start, screened in paced
+	// chunks against screenRecs — the member records frozen (and ordered
+	// strongest-first) at repair start — at depth repairCap (phase 1);
+	// survivors accumulate in queue, from which phase 2 admits them one at a
+	// time with exact dominator counts. repairDels counts deletes applied
+	// since the snapshot: the "debt" discounted from the admission/coverage
+	// depth, since each delete can lower any true count by at most one (the
+	// same discount absorbs snapshot members that die mid-repair).
+	repairChunk int // per-op repair floor, in screened records; 0 disables repair
+	repairing   bool
+	repairCap   int
+	repairDels  int
+	repairLeft  int // ops left on the pacing countdown (soft deadline)
+	scanIDs     []int
+	scanPos     int
+	screenRecs  [][]float64
+	screenSums  []float64 // coordSum of screenRecs[i]; desc — screen early-exit
+	screenCnts  []int     // frozen exact count of screenRecs[i] — screen certificates
+	screenIDs   []int     // id of screenRecs[i] — survivors' dominator lists
+	queue       []int
+	queueDoms   [][]int // frozen members dominating queue[i] (complete for survivors)
+	queuePos    int
+	queueSorted bool
+	pendIns     []int // ids inserted mid-repair that did not join the members
+	pendPos     int
+	newMem      []int // ids that joined the members since the repair snapshot
+	scrDoms     []int // per-record scratch for screening dominator collection
+	// Per-repair work accounting for iteration-based pacing: dominance tests
+	// spent on screening/admission and the records each phase finished, from
+	// which tickMaintenance estimates the remaining work per phase.
+	scScreened int
+	adDone     int
+	scIters    uint64
+	adIters    uint64
+
+	// Adaptive shadow depth (EnableAdaptiveShadow).
+	adaptive     bool
+	baseShadow   int
+	maxShadow    int
+	lastPressure uint64 // inserts+deletes at the previous exhaustion or repair start
+	lastShrinkAt uint64
+
+	inserts       uint64
+	deletes       uint64
+	promotions    uint64
+	demotions     uint64
+	evictions     uint64
+	rebuilds      uint64
+	exhaustions   uint64
+	repairs       uint64
+	repairSteps   uint64
+	shadowGrows   uint64
+	shadowShrinks uint64
 }
 
 type dynEntry struct {
@@ -79,7 +142,7 @@ type Effect struct {
 	// result at depth ≤ k anywhere in the preference domain.
 	InBand bool
 	// Rebuilt reports whether this update exhausted the shadow band and
-	// forced a full recomputation.
+	// forced a coverage recomputation (drained repair or full reseed).
 	Rebuilt bool
 }
 
@@ -94,6 +157,9 @@ type DynamicStats struct {
 	// currently guaranteed (capK right after construction or a rebuild,
 	// eroded by at most one per band/shadow deletion in between).
 	Coverage int
+	// ShadowDepth is the current retention depth beyond k (capK - k); it
+	// varies over time when the adaptive shadow is enabled.
+	ShadowDepth int
 	// Inserts and Deletes count applied updates.
 	Inserts uint64
 	Deletes uint64
@@ -103,8 +169,18 @@ type DynamicStats struct {
 	Promotions uint64
 	Demotions  uint64
 	Evictions  uint64
-	// Rebuilds counts shadow-exhaustion recomputations.
-	Rebuilds uint64
+	// Rebuilds counts monolithic coverage recomputations (reseed or full
+	// rebuild); Exhaustions counts shadow-exhaustion events (each is served
+	// by draining an in-flight repair or by a rebuild); Repairs counts
+	// incremental repairs that completed and restored coverage, and
+	// RepairSteps the chunked screening steps they ran.
+	Rebuilds    uint64
+	Exhaustions uint64
+	Repairs     uint64
+	RepairSteps uint64
+	// ShadowGrows/ShadowShrinks count adaptive shadow-depth resizes.
+	ShadowGrows   uint64
+	ShadowShrinks uint64
 }
 
 // NewDynamic builds the structure over the initial records (ids 0..n-1).
@@ -141,6 +217,47 @@ func NewDynamic(records [][]float64, superset []int, k, shadowDepth int) (*Dynam
 	return d, nil
 }
 
+// EnableIncrementalRepair turns on chunked coverage repair with the given
+// per-update screening budget floor (records screened per update while a
+// repair is in flight); chunk <= 0 selects a default. Without it, coverage is
+// only restored by the monolithic reseed at exhaustion.
+func (d *Dynamic) EnableIncrementalRepair(chunk int) {
+	if chunk <= 0 {
+		chunk = 128
+	}
+	d.repairChunk = chunk
+}
+
+// EnableAdaptiveShadow lets the shadow depth track the workload: it doubles
+// (up to max) when exhaustions recur within the adaptation window and halves
+// back toward base after long idle stretches. base is the floor the depth
+// shrinks to; the current depth is left untouched until an exhaustion or
+// shrink fires.
+func (d *Dynamic) EnableAdaptiveShadow(base, max int) {
+	if base < 0 {
+		base = 0
+	}
+	if max < base {
+		max = base
+	}
+	if cur := d.capK - d.k; max < cur {
+		max = cur
+	}
+	d.adaptive = true
+	d.baseShadow = base
+	d.maxShadow = max
+}
+
+// SkipID consumes and returns the id the next insert would have been
+// assigned, without inserting a record. Batch planners use it to keep id
+// assignment aligned when an insert is coalesced away with a later delete of
+// the same (predicted) id in one batch.
+func (d *Dynamic) SkipID() int {
+	id := d.nextID
+	d.nextID++
+	return id
+}
+
 // Insert adds a record (the slice is copied) and returns its assigned id.
 func (d *Dynamic) Insert(rec []float64) (int, Effect) {
 	id := d.nextID
@@ -164,10 +281,13 @@ func (d *Dynamic) Insert(rec []float64) (int, Effect) {
 	}
 
 	// The newcomer adds one dominator to every member it dominates. A member
-	// crossing depth k leaves the band; one crossing capK is dropped.
+	// crossing depth k leaves the band; one crossing capK is dropped. Any
+	// member the newcomer dominates inherits all of the newcomer's dominators,
+	// so its count is already ≥ c and entries below that are skipped without
+	// a dominance test.
 	for i := 0; i < len(d.ents); {
 		e := &d.ents[i]
-		if geom.Dominates(cp, e.rec) {
+		if e.count >= c && geom.Dominates(cp, e.rec) {
 			e.count++
 			if e.count == d.k {
 				d.band--
@@ -190,7 +310,12 @@ func (d *Dynamic) Insert(rec []float64) (int, Effect) {
 			eff.BandChanged = true
 			eff.InBand = true
 		}
+	} else if d.repairing {
+		// Untracked newcomer: its true count may still be below the repair's
+		// admission depth, so it joins the mid-repair arrivals list.
+		d.pendIns = append(d.pendIns, id)
 	}
+	d.tickMaintenance()
 	return id, eff
 }
 
@@ -203,26 +328,48 @@ func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
 	}
 	delete(d.live, id)
 	d.deletes++
-
-	wasMember := false
-	memberCount := 0
-	if i, isMem := d.pos[id]; isMem {
-		wasMember = true
-		memberCount = d.ents[i].count
-		if memberCount < d.k {
-			d.band--
-			eff.InBand = true
-			eff.BandChanged = true
-		}
-		d.removeAt(i)
+	if d.repairing {
+		// Any delete may lower the true count of a record screened earlier,
+		// so it joins the debt discounted from the repair's finalize depth.
+		d.repairDels++
 	}
 
+	i, wasMember := d.pos[id]
+	if !wasMember {
+		// Fast path: a non-member has true count ≥ cov, so any member it
+		// dominates has exact count ≥ cov+1 — entries at or below the
+		// coverage depth cannot be affected, no promotion past depth k is
+		// possible, and coverage does not erode. At full coverage every
+		// member count is < capK = cov and the scan is skipped entirely.
+		if d.cov < d.capK {
+			for j := range d.ents {
+				e := &d.ents[j]
+				if e.count > d.cov && geom.Dominates(rec, e.rec) {
+					e.count--
+				}
+			}
+		}
+		d.tickMaintenance()
+		return rec, eff, true
+	}
+
+	memberCount := d.ents[i].count
+	if memberCount < d.k {
+		d.band--
+		eff.InBand = true
+		eff.BandChanged = true
+	}
+	d.removeAt(i)
+
 	// The departed record was one dominator of every member it dominated.
-	// Shadow members dropping below depth k are promoted into the band —
-	// the local repair that makes deletion cheap.
-	for i := range d.ents {
-		e := &d.ents[i]
-		if geom.Dominates(rec, e.rec) {
+	// Each such member inherits all of the departed record's dominators plus
+	// the departed record itself, so its count exceeds memberCount and
+	// entries at or below that are skipped without a dominance test. Shadow
+	// members dropping below depth k are promoted into the band — the local
+	// repair that makes deletion cheap.
+	for j := range d.ents {
+		e := &d.ents[j]
+		if e.count > memberCount && geom.Dominates(rec, e.rec) {
 			e.count--
 			if e.count == d.k-1 {
 				d.band++
@@ -235,18 +382,508 @@ func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
 	// Untracked records dominated by the departed one may now sit one count
 	// below the coverage depth; the guarantee erodes unless the departed
 	// record's own count already met it.
-	if wasMember && memberCount < d.cov {
+	if memberCount < d.cov {
 		d.cov--
 		if d.cov < d.k {
 			// Shadow exhausted: the band can no longer vouch for complete
-			// membership. Reseed from the surviving members instead of
-			// recomputing over the whole live set.
-			d.reseed()
-			eff.BandChanged = true
-			eff.Rebuilt = true
+			// membership.
+			d.exhaust(&eff)
+		} else {
+			d.maybeStartRepair()
 		}
 	}
+	d.tickMaintenance()
 	return rec, eff, true
+}
+
+// exhaust restores a trustworthy band after coverage dropped below k: it
+// drains an in-flight repair when that repair still lands above depth k,
+// and otherwise falls back to the monolithic reseed. BandChanged is derived
+// from the band size delta — sound because pre-exhaustion members have exact
+// counts, so the old band is a subset of the recomputed one and membership
+// changed iff the size did. Keeping the effect a pure function of the update
+// sequence (rather than of shadow/repair tuning) is what makes engine epochs
+// replay deterministically from a WAL.
+func (d *Dynamic) exhaust(eff *Effect) {
+	d.exhaustions++
+	d.maybeGrowShadow()
+	preBand := d.band
+	if d.repairing && d.repairCap-d.repairDels > d.k {
+		for d.repairing {
+			d.repairStep(1 << 30)
+		}
+	}
+	if d.cov < d.k {
+		d.abortRepair()
+		d.reseed()
+	}
+	eff.Rebuilt = true
+	if d.band != preBand {
+		eff.BandChanged = true
+	}
+}
+
+// tickMaintenance runs after every applied update: it advances an in-flight
+// repair by a deadline-paced chunk, or considers shrinking an over-grown
+// shadow when no repair is active. Pacing divides the outstanding repair
+// work by the coverage slack still above k — erosion consumes at most one
+// slack level per update, so the repair always lands before the band's
+// guarantee can break, and no single update ever does more than
+// chunk + ceil(remaining/slack) + 1 units of repair work.
+func (d *Dynamic) tickMaintenance() {
+	if !d.repairing {
+		d.maybeShrinkShadow()
+		return
+	}
+	// Budgets are in dominance tests, not records: an admission costs up to a
+	// full member-set scan while most screens exit after ~repairCap tests, so
+	// record-count pacing would let one update swallow the whole admission
+	// queue. Remaining work = unscreened records at the observed screen cost,
+	// plus expected admissions (queued + the unscreened remainder at the
+	// observed queue rate) at the observed admission cost. The countdown
+	// starts at the coverage slack and loses one per update — erosion loses
+	// at most the same — so the repair lands before exhaustion while every
+	// update carries a near-uniform share of the work.
+	scanRem := len(d.scanIDs) - d.scanPos
+	scCost := 16
+	if d.scScreened > 0 {
+		scCost = int(d.scIters/uint64(d.scScreened)) + 1
+	}
+	// List-based admissions cost about one liveness probe per frozen
+	// dominator plus the post-snapshot member scan — nowhere near a full
+	// member-set pass.
+	adCost := d.repairCap + len(d.newMem) + 1
+	if d.adDone > 0 {
+		adCost = int(d.adIters/uint64(d.adDone)) + 1
+	}
+	expAdm := (len(d.queue) - d.queuePos) + (len(d.pendIns) - d.pendPos)
+	if d.scanPos > 0 {
+		expAdm += scanRem * len(d.queue) / d.scanPos
+	} else {
+		expAdm += scanRem / 50
+	}
+	remaining := scanRem*scCost + expAdm*adCost
+	left := d.repairLeft
+	if left < 1 {
+		left = 1
+	}
+	if d.repairLeft > 1 {
+		d.repairLeft--
+	}
+	d.repairStep(d.repairChunk*scCost + (remaining+left-1)/left + adCost)
+}
+
+// maybeStartRepair snapshots the non-member population for incremental
+// screening once coverage erodes into the lower half of the shadow. No
+// dominance work happens here: the snapshot collects ids and freezes the
+// member records strongest-first, so screening finds repairCap dominators in
+// near-minimal tests. Repairs recurring within the adaptation window are the
+// sustained-churn signal that grows the shadow (exhaustions cannot serve as
+// that signal here: pacing finishes every repair before coverage reaches k).
+func (d *Dynamic) maybeStartRepair() {
+	if d.repairChunk <= 0 || d.repairing || d.cov >= d.capK {
+		return
+	}
+	margin := (d.capK - d.k) / 2
+	if margin < 1 {
+		margin = 1
+	}
+	if d.cov-d.k > margin {
+		return
+	}
+	d.maybeGrowShadow()
+	d.repairing = true
+	d.repairCap = d.capK
+	d.repairDels = 0
+	d.repairLeft = d.cov - d.k
+	if d.repairLeft < 1 {
+		d.repairLeft = 1
+	}
+	d.scanPos = 0
+	d.scanIDs = d.scanIDs[:0]
+	d.queue = d.queue[:0]
+	d.queueDoms = d.queueDoms[:0]
+	d.queuePos = 0
+	d.queueSorted = false
+	d.pendIns = d.pendIns[:0]
+	d.pendPos = 0
+	d.newMem = d.newMem[:0]
+	d.scScreened, d.adDone, d.scIters, d.adIters = 0, 0, 0, 0
+	for id := range d.live {
+		if _, isMember := d.pos[id]; !isMember {
+			d.scanIDs = append(d.scanIDs, id)
+		}
+	}
+	type ss struct {
+		rec []float64
+		sum float64
+		cnt int
+		id  int
+	}
+	tmp := make([]ss, len(d.ents))
+	for i := range d.ents {
+		tmp[i] = ss{d.ents[i].rec, coordSum(d.ents[i].rec), d.ents[i].count, d.ents[i].id}
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a].sum > tmp[b].sum })
+	d.screenRecs = d.screenRecs[:0]
+	d.screenSums = d.screenSums[:0]
+	d.screenCnts = d.screenCnts[:0]
+	d.screenIDs = d.screenIDs[:0]
+	for i := range tmp {
+		d.screenRecs = append(d.screenRecs, tmp[i].rec)
+		d.screenSums = append(d.screenSums, tmp[i].sum)
+		d.screenCnts = append(d.screenCnts, tmp[i].cnt)
+		d.screenIDs = append(d.screenIDs, tmp[i].id)
+	}
+}
+
+// repairStep advances an in-flight repair by up to budget units.
+//
+// Phase 1 (screen) tests snapshot records against the current member set.
+// Member counts are exact, so a record with ≥ repairCap member dominators at
+// screening time has true count ≥ repairCap then, and — since each
+// concurrent delete lowers any true count by at most one — true count
+// ≥ repairCap − repairDels at any later point of the repair: screening it
+// out is sound at every depth the repair can still use. Survivors join the
+// admission queue.
+//
+// Phase 2 (admit) computes the exact dominator count of each queued record
+// and splices it into the member set when the count is below the current
+// discounted depth repairCap − repairDels. Exactness needs every live
+// dominator of an admissible record covered by the scan, and each one is:
+//
+//   - a member (scanned);
+//   - a queue entry not yet processed — impossible once the queue is sorted
+//     by descending coordinate sum, because dominance implies a strictly
+//     larger sum, so a dominator sorts strictly earlier;
+//   - a queue entry processed earlier — then it was itself admissible at its
+//     processing time (a dominator has strictly smaller true count, and the
+//     discount depth shrinks by exactly the deletes separating the two
+//     processing times, so admissibility propagates backwards), hence by
+//     induction it was admitted and now sits in the member set (scanned), or
+//     has since died (rightly uncounted) — eviction is ruled out because it
+//     certifies a true count at or above the discount depth;
+//   - screened out in phase 1 — certifies true count ≥ the discount depth,
+//     contradicting domination of an admissible record;
+//   - a mid-repair arrival (scanned: pendIns is kept separately precisely
+//     because arrivals would break the queue's sort order).
+//
+// Once the queue drains, the arrivals themselves are processed the same way
+// (scanning the remaining arrivals replaces the sort-order argument).
+// Former non-members have true count ≥ coverage, so while coverage holds at
+// ≥ k an admission never lands in the band; during an exhaustion drain it
+// can, and the caller diffs the band size.
+//
+// When everything drains, coverage rises to the discounted depth: screening
+// and admission together guarantee every live record with true count below
+// that depth is now a member with an exact count. A repair overtaken by
+// churn — discounted depth no better than current coverage — is abandoned.
+func (d *Dynamic) repairStep(budget int) {
+	if !d.repairing {
+		return
+	}
+	if d.repairCap-d.repairDels <= d.cov {
+		d.abortRepair()
+		return
+	}
+	d.repairSteps++
+	for budget > 0 && d.scanPos < len(d.scanIDs) {
+		id := d.scanIDs[d.scanPos]
+		d.scanPos++
+		rec, ok := d.live[id]
+		if !ok {
+			continue // deleted since the snapshot
+		}
+		sum := coordSum(rec)
+		// Strongest-first scan with two exits: accumulate found dominators, or
+		// jump via a transitive certificate — every dominator of a dominating
+		// member m also dominates rec, so tc(rec) ≥ count(m)+1. The sum order
+		// bounds the scan: members at or below rec's coordinate sum cannot
+		// dominate it. Survivors keep the complete list of frozen dominators;
+		// admission then only needs to check which of them are still alive.
+		best, iters := 0, 0
+		d.scrDoms = d.scrDoms[:0]
+		for j := range d.screenRecs {
+			if d.screenSums[j] <= sum {
+				break // sorted desc: nothing further can dominate rec
+			}
+			iters++
+			if geom.Dominates(d.screenRecs[j], rec) {
+				d.scrDoms = append(d.scrDoms, d.screenIDs[j])
+				if c := d.screenCnts[j] + 1; c > best {
+					best = c
+				}
+				if len(d.scrDoms) > best {
+					best = len(d.scrDoms)
+				}
+				if best >= d.repairCap {
+					break
+				}
+			}
+		}
+		budget -= iters + 1
+		d.scScreened++
+		d.scIters += uint64(iters) + 1
+		if best < d.repairCap {
+			d.queue = append(d.queue, id)
+			d.queueDoms = append(d.queueDoms, append([]int(nil), d.scrDoms...))
+		}
+	}
+	if d.scanPos >= len(d.scanIDs) && !d.queueSorted {
+		type qs struct {
+			id   int
+			sum  float64
+			doms []int
+		}
+		tmp := make([]qs, 0, len(d.queue))
+		for i, id := range d.queue {
+			if rec, ok := d.live[id]; ok {
+				tmp = append(tmp, qs{id, coordSum(rec), d.queueDoms[i]})
+			}
+		}
+		sort.Slice(tmp, func(a, b int) bool { return tmp[a].sum > tmp[b].sum })
+		d.queue = d.queue[:0]
+		d.queueDoms = d.queueDoms[:0]
+		for i := range tmp {
+			d.queue = append(d.queue, tmp[i].id)
+			d.queueDoms = append(d.queueDoms, tmp[i].doms)
+		}
+		d.queuePos = 0
+		d.queueSorted = true
+	}
+	for budget > 0 && d.scanPos >= len(d.scanIDs) && d.queuePos < len(d.queue) {
+		id := d.queue[d.queuePos]
+		doms := d.queueDoms[d.queuePos]
+		d.queuePos++
+		rec, ok := d.live[id]
+		if !ok {
+			continue // deleted while queued
+		}
+		// Exact current count from the frozen dominator list: survivors carry
+		// every frozen member that dominates them, so the current members
+		// dominating rec are exactly the still-live list entries plus the
+		// post-snapshot members (newMem) — no member-set rescan. The breaks
+		// fire only at ≥ depth, i.e. only on rejections, so an admitted count
+		// is never truncated.
+		depth := d.repairCap - d.repairDels
+		cnt, iters := 0, 0
+		for _, mid := range doms {
+			iters++
+			if _, alive := d.live[mid]; alive {
+				cnt++
+				if cnt >= depth {
+					break
+				}
+			}
+		}
+		for i := range d.newMem {
+			if cnt >= depth {
+				break
+			}
+			p, alive := d.live[d.newMem[i]]
+			if !alive {
+				continue
+			}
+			iters++
+			if geom.Dominates(p, rec) {
+				cnt++
+			}
+		}
+		if cnt < depth {
+			c2, it2 := d.pendDomCount(rec, depth-cnt, d.pendPos)
+			cnt += c2
+			iters += it2
+		}
+		budget -= iters + 1
+		d.adDone++
+		d.adIters += uint64(iters) + 1
+		if cnt < depth {
+			d.addEntry(dynEntry{id: id, rec: rec, count: cnt})
+			if cnt < d.k {
+				d.band++
+			}
+		}
+	}
+	for budget > 0 && d.scanPos >= len(d.scanIDs) && d.queuePos >= len(d.queue) &&
+		d.pendPos < len(d.pendIns) {
+		id := d.pendIns[d.pendPos]
+		d.pendPos++
+		rec, ok := d.live[id]
+		if !ok {
+			continue
+		}
+		if _, isMember := d.pos[id]; isMember {
+			continue
+		}
+		depth := d.repairCap - d.repairDels
+		cnt, iters := d.admissionCount(rec, depth, d.pendPos)
+		budget -= iters + 1
+		d.adDone++
+		d.adIters += uint64(iters) + 1
+		if cnt < depth {
+			d.addEntry(dynEntry{id: id, rec: rec, count: cnt})
+			if cnt < d.k {
+				d.band++
+			}
+		}
+	}
+	if d.scanPos >= len(d.scanIDs) && d.queuePos >= len(d.queue) && d.pendPos >= len(d.pendIns) {
+		depth := d.repairCap - d.repairDels
+		d.abortRepair()
+		if depth > d.cov {
+			d.cov = depth
+			d.repairs++
+		}
+	}
+}
+
+// pendDomCount counts the live, still-untracked mid-repair arrivals from
+// pendFrom on that dominate rec, capped at limit. It is the arrivals leg of
+// an admission count (see repairStep); the second return is the dominance
+// tests spent.
+func (d *Dynamic) pendDomCount(rec []float64, limit, pendFrom int) (int, int) {
+	cnt, iters := 0, 0
+	for i := pendFrom; i < len(d.pendIns); i++ {
+		id := d.pendIns[i]
+		q, ok := d.live[id]
+		if !ok {
+			continue
+		}
+		if _, isMember := d.pos[id]; isMember {
+			continue
+		}
+		iters++
+		if geom.Dominates(q, rec) {
+			cnt++
+			if cnt >= limit {
+				break
+			}
+		}
+	}
+	return cnt, iters
+}
+
+// admissionCount is the exact live dominator count of rec (capped at depth),
+// scanned over the members and the live unprocessed mid-repair arrivals from
+// pendFrom on — together the set that provably contains every live dominator
+// of an admissible record (see repairStep). The second return is the number
+// of dominance tests spent, for iteration-based pacing.
+func (d *Dynamic) admissionCount(rec []float64, depth, pendFrom int) (int, int) {
+	cnt, iters := 0, 0
+	for j := range d.ents {
+		iters++
+		if geom.Dominates(d.ents[j].rec, rec) {
+			cnt++
+			if cnt >= depth {
+				return cnt, iters
+			}
+		}
+	}
+	for i := pendFrom; i < len(d.pendIns); i++ {
+		id := d.pendIns[i]
+		q, ok := d.live[id]
+		if !ok {
+			continue
+		}
+		if _, isMember := d.pos[id]; isMember {
+			continue
+		}
+		iters++
+		if geom.Dominates(q, rec) {
+			cnt++
+			if cnt >= depth {
+				return cnt, iters
+			}
+		}
+	}
+	return cnt, iters
+}
+
+func (d *Dynamic) abortRepair() {
+	d.repairing = false
+	d.scanIDs = d.scanIDs[:0]
+	d.scanPos = 0
+	d.screenRecs = d.screenRecs[:0]
+	d.screenSums = d.screenSums[:0]
+	d.screenCnts = d.screenCnts[:0]
+	d.screenIDs = d.screenIDs[:0]
+	d.queue = d.queue[:0]
+	d.queueDoms = d.queueDoms[:0]
+	d.queuePos = 0
+	d.queueSorted = false
+	d.pendIns = d.pendIns[:0]
+	d.pendPos = 0
+	d.newMem = d.newMem[:0]
+	d.scScreened, d.adDone, d.scIters, d.adIters = 0, 0, 0, 0
+}
+
+// maybeGrowShadow doubles the shadow depth (toward maxShadow) when the
+// current coverage-pressure event — an exhaustion, or the start of a repair
+// — arrived within the adaptation window of the previous one: sustained
+// churn deep enough to keep draining the shadow. A deeper shadow makes
+// repairs both rarer (more erosion headroom before the trigger) and cheaper
+// per update (pacing divides the work across the larger slack).
+func (d *Dynamic) maybeGrowShadow() {
+	total := d.inserts + d.deletes
+	if d.adaptive && total-d.lastPressure < d.growWindow() {
+		shadow := 2 * (d.capK - d.k)
+		if shadow < 1 {
+			shadow = 1
+		}
+		if shadow > d.maxShadow {
+			shadow = d.maxShadow
+		}
+		if shadow > d.capK-d.k {
+			d.capK = d.k + shadow
+			d.shadowGrows++
+		}
+	}
+	d.lastPressure = total
+}
+
+// maybeShrinkShadow halves a grown shadow back toward the base after a long
+// exhaustion-free stretch, pruning members past the new retention depth.
+func (d *Dynamic) maybeShrinkShadow() {
+	if !d.adaptive || d.capK-d.k <= d.baseShadow {
+		return
+	}
+	total := d.inserts + d.deletes
+	ref := d.lastPressure
+	if d.lastShrinkAt > ref {
+		ref = d.lastShrinkAt
+	}
+	if total-ref < 16*d.growWindow() {
+		return
+	}
+	shadow := (d.capK - d.k) / 2
+	if shadow < d.baseShadow {
+		shadow = d.baseShadow
+	}
+	d.capK = d.k + shadow
+	for i := 0; i < len(d.ents); {
+		if d.ents[i].count >= d.capK {
+			d.evictions++
+			d.removeAt(i)
+			continue
+		}
+		i++
+	}
+	if d.cov > d.capK {
+		d.cov = d.capK
+	}
+	d.lastShrinkAt = total
+	d.shadowShrinks++
+}
+
+// growWindow is the adaptation horizon, in applied updates: exhaustions
+// closer together than this are "frequent" (grow), and the shadow must sit
+// idle for a large multiple of it before shrinking.
+func (d *Dynamic) growWindow() uint64 {
+	w := uint64(4 * len(d.ents))
+	if w < 512 {
+		w = 512
+	}
+	return w
 }
 
 // reseed restores coverage to capK after shadow exhaustion by reusing the
@@ -337,6 +974,9 @@ func (d *Dynamic) Len() int { return len(d.live) }
 // Has reports whether id is live.
 func (d *Dynamic) Has(id int) bool { _, ok := d.live[id]; return ok }
 
+// Tracked reports whether id is currently in the member set (band ∪ shadow).
+func (d *Dynamic) Tracked(id int) bool { _, ok := d.pos[id]; return ok }
+
 // Record returns the coordinates of a live record (shared slice; do not
 // mutate), or nil when the id is not live.
 func (d *Dynamic) Record(id int) []float64 { return d.live[id] }
@@ -350,16 +990,22 @@ func (d *Dynamic) NextID() int { return d.nextID }
 // Stats returns a snapshot of sizes and lifetime counters.
 func (d *Dynamic) Stats() DynamicStats {
 	return DynamicStats{
-		Live:       len(d.live),
-		Band:       d.band,
-		Shadow:     len(d.ents) - d.band,
-		Coverage:   d.cov,
-		Inserts:    d.inserts,
-		Deletes:    d.deletes,
-		Promotions: d.promotions,
-		Demotions:  d.demotions,
-		Evictions:  d.evictions,
-		Rebuilds:   d.rebuilds,
+		Live:          len(d.live),
+		Band:          d.band,
+		Shadow:        len(d.ents) - d.band,
+		Coverage:      d.cov,
+		ShadowDepth:   d.capK - d.k,
+		Inserts:       d.inserts,
+		Deletes:       d.deletes,
+		Promotions:    d.promotions,
+		Demotions:     d.demotions,
+		Evictions:     d.evictions,
+		Rebuilds:      d.rebuilds,
+		Exhaustions:   d.exhaustions,
+		Repairs:       d.repairs,
+		RepairSteps:   d.repairSteps,
+		ShadowGrows:   d.shadowGrows,
+		ShadowShrinks: d.shadowShrinks,
 	}
 }
 
@@ -367,11 +1013,19 @@ func (d *Dynamic) Stats() DynamicStats {
 // restoring the coverage depth to capK. The automatic shadow-exhaustion path
 // uses the cheaper reseed (survivor-screened recomputation) instead; the full
 // rebuild stays exposed for tests and benchmarks as the reference.
-func (d *Dynamic) Rebuild() { d.rebuild() }
+func (d *Dynamic) Rebuild() {
+	d.abortRepair()
+	d.rebuild()
+}
 
 func (d *Dynamic) addEntry(e dynEntry) {
 	d.pos[e.id] = len(d.ents)
 	d.ents = append(d.ents, e)
+	if d.repairing {
+		// In-flight repair admissions count post-snapshot members from this
+		// list instead of rescanning the whole member set.
+		d.newMem = append(d.newMem, e.id)
+	}
 }
 
 // removeAt drops the member at position i by swapping in the last entry.
@@ -402,11 +1056,18 @@ func (d *Dynamic) rebuild() {
 
 // setMembers computes exact member counts over a candidate pool that must
 // contain every record with dominator count < capK (the pool may be the full
-// dataset). Records are visited in strictly non-increasing coordinate-sum
-// order; dominance implies a strictly larger sum, so every dominator of a
-// record is visited (and kept, if its own count is below capK) before the
-// record itself, making the counts exact up to the capK cap.
+// dataset), restoring coverage to capK.
 func (d *Dynamic) setMembers(recs [][]float64, ids []int) {
+	d.setMembersAt(recs, ids, d.capK)
+}
+
+// setMembersAt is setMembers at an explicit retention depth ≤ capK: the pool
+// must contain every record with dominator count < depth, and coverage is
+// set to depth. Records are visited in strictly non-increasing coordinate-sum
+// order; dominance implies a strictly larger sum, so every dominator of a
+// record is visited (and kept, if its own count is below depth) before the
+// record itself, making the counts exact up to the depth cap.
+func (d *Dynamic) setMembersAt(recs [][]float64, ids []int, depth int) {
 	order := make([]int, len(recs))
 	sums := make([]float64, len(recs))
 	for i, rec := range recs {
@@ -420,24 +1081,24 @@ func (d *Dynamic) setMembers(recs [][]float64, ids []int) {
 	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
 
 	d.ents = d.ents[:0]
-	d.pos = make(map[int]int, 4*d.capK)
+	d.pos = make(map[int]int, 4*depth)
 	d.band = 0
 	for _, i := range order {
 		c := 0
 		for j := range d.ents {
 			if geom.Dominates(d.ents[j].rec, recs[i]) {
 				c++
-				if c >= d.capK {
+				if c >= depth {
 					break
 				}
 			}
 		}
-		if c < d.capK {
+		if c < depth {
 			d.addEntry(dynEntry{id: ids[i], rec: recs[i], count: c})
 			if c < d.k {
 				d.band++
 			}
 		}
 	}
-	d.cov = d.capK
+	d.cov = depth
 }
