@@ -8,6 +8,8 @@
 //	utkstream -shards 3 -duration 5s           # sharded engine, longer run
 //	utkstream -compare                         # also run a read-only baseline
 //	utkstream -compare -json BENCH_stream.json # machine-readable output (CI)
+//	utkstream -preset 250k -pipelined          # 250k points, pipelined apply
+//	utkstream -preset 1m -shards 3             # million-point sharded run
 //
 // With -compare, the run's query p99 is reported against the same engine
 // serving the same query mix with no updates at all — the streaming design
@@ -26,28 +28,57 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 20000, "dataset cardinality")
-		d        = flag.Int("d", 4, "data dimensionality")
-		k        = flag.Int("k", 10, "serving depth (MaxK)")
-		sigma    = flag.Float64("sigma", 0.01, "query region side length")
-		shards   = flag.Int("shards", 1, "horizontal partitions (1 = single engine)")
-		batch    = flag.Int("batch", 32, "ops per update batch")
-		pairs    = flag.Int("pairs", 4, "coalescible insert→delete pairs per batch")
-		queriers = flag.Int("queriers", 4, "concurrent query goroutines")
-		regions  = flag.Int("regions", 16, "distinct query boxes cycled by queriers")
-		duration = flag.Duration("duration", 2*time.Second, "run length")
-		batches  = flag.Int("batches", 0, "stop after this many batches instead of -duration")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		compare  = flag.Bool("compare", false, "also run a read-only baseline and report the p99 ratio")
-		jsonOut  = flag.String("json", "", "write results as JSON to this file")
+		n         = flag.Int("n", 20000, "dataset cardinality")
+		d         = flag.Int("d", 4, "data dimensionality")
+		k         = flag.Int("k", 10, "serving depth (MaxK)")
+		sigma     = flag.Float64("sigma", 0.01, "query region side length")
+		shards    = flag.Int("shards", 1, "horizontal partitions (1 = single engine)")
+		batch     = flag.Int("batch", 32, "ops per update batch")
+		pairs     = flag.Int("pairs", 4, "coalescible insert→delete pairs per batch")
+		queriers  = flag.Int("queriers", 4, "concurrent query goroutines")
+		regions   = flag.Int("regions", 16, "distinct query boxes cycled by queriers")
+		cache     = flag.Int("cache", 0, "result-cache entries (0 = engine default)")
+		duration  = flag.Duration("duration", 2*time.Second, "run length")
+		batches   = flag.Int("batches", 0, "stop after this many batches instead of -duration")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		compare   = flag.Bool("compare", false, "also run a read-only baseline and report the p99 ratio")
+		jsonOut   = flag.String("json", "", "write results as JSON to this file")
+		pipelined = flag.Bool("pipelined", false, "apply batches through the pipelined begin/commit path")
+		preset    = flag.String("preset", "", "workload preset: 250k or 1m; explicit flags still override")
 	)
 	flag.Parse()
+
+	if *preset != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		var pn, pbatch int
+		var pdur time.Duration
+		switch *preset {
+		case "250k":
+			pn, pbatch, pdur = 250_000, 64, 5*time.Second
+		case "1m":
+			pn, pbatch, pdur = 1_000_000, 64, 10*time.Second
+		default:
+			fmt.Fprintf(os.Stderr, "utkstream: unknown preset %q (want 250k or 1m)\n", *preset)
+			os.Exit(2)
+		}
+		if !set["n"] {
+			*n = pn
+		}
+		if !set["batch"] {
+			*batch = pbatch
+		}
+		if !set["duration"] {
+			*duration = pdur
+		}
+	}
 
 	cfg := stream.Config{
 		N: *n, Dim: *d, K: *k, Sigma: *sigma, Shards: *shards,
 		BatchSize: *batch, ChurnPairs: *pairs,
 		Queriers: *queriers, Regions: *regions,
 		Batches: *batches, Duration: *duration, Seed: *seed,
+		Pipelined: *pipelined, CacheEntries: *cache,
 	}
 	churn, err := stream.Run(cfg)
 	if err != nil {
@@ -107,4 +138,5 @@ func report(name string, r *stream.Result) {
 		st.Repairs, st.RepairSteps, st.Exhaustions, st.Rebuilds)
 	fmt.Printf("  cache: hits=%d misses=%d derived=%d invalidations=%d evictions=%d\n",
 		st.Hits, st.Misses, st.DerivedHits, st.Invalidations, st.Evictions)
+	fmt.Printf("  probes: batches=%d saved=%d\n", st.ProbeBatches, st.ProbesSaved)
 }

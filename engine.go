@@ -85,6 +85,7 @@ type backend interface {
 	Insert(rec []float64) (int, error)
 	Delete(id int) error
 	ApplyBatch(ops []engine.UpdateOp) (*engine.UpdateResult, error)
+	ApplyBatchPipelined(ops []engine.UpdateOp) (*engine.UpdateResult, func(), error)
 	Stats() engine.Stats
 	MaxK() int
 	Shards() int
@@ -190,6 +191,12 @@ type EngineStats struct {
 	ShadowDepth    int
 	ShadowGrows    uint64
 	ShadowShrinks  uint64
+	// ProbeBatches counts update batches that ran a cache-invalidation probe
+	// pass; ProbesSaved counts the per-entry probe evaluations avoided by
+	// grouping resident entries by (region, k) and probing each distinct
+	// shape once per batch instead of once per entry.
+	ProbeBatches uint64
+	ProbesSaved  uint64
 	// MaxK and Workers echo the effective configuration. Shards is the
 	// number of horizontal partitions behind the engine (1 for NewEngine).
 	MaxK    int
@@ -300,6 +307,8 @@ func (e *Engine) Stats() EngineStats {
 		Rebuilds:        st.Rebuilds,
 		CoalescedOps:    st.CoalescedOps,
 		AdmissionSkips:  st.AdmissionSkips,
+		ProbeBatches:    st.ProbeBatches,
+		ProbesSaved:     st.ProbesSaved,
 		Exhaustions:     st.Exhaustions,
 		Repairs:         st.Repairs,
 		RepairSteps:     st.RepairSteps,
@@ -370,6 +379,39 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 		SupersetSize: res.SupersetSize,
 		ShadowSize:   res.ShadowSize,
 	}, nil
+}
+
+// ApplyBatchPipelined is the two-stage form of ApplyBatch for callers with
+// their own per-batch work to overlap against cache invalidation — the
+// durable registry runs its WAL append concurrently with the returned
+// commit. When this call returns, the batch has applied and the result is
+// final, but queries observe it only once commit has run; commit must be
+// called exactly once per successful call (calling it again is a no-op).
+// Single-partition engines defer invalidation probing and the index publish
+// to commit; sharded engines apply fully up front and return a no-op commit.
+func (e *Engine) ApplyBatchPipelined(ops []UpdateOp) (*UpdateResult, func(), error) {
+	converted := make([]engine.UpdateOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case UpdateInsert:
+			converted[i] = engine.UpdateOp{Kind: engine.UpdateInsert, Record: op.Record}
+		case UpdateDelete:
+			converted[i] = engine.UpdateOp{Kind: engine.UpdateDelete, ID: op.ID}
+		default:
+			return nil, nil, ErrBadUpdate
+		}
+	}
+	res, commit, err := e.e.ApplyBatchPipelined(converted)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &UpdateResult{
+		IDs:          res.IDs,
+		Epoch:        res.Epoch,
+		Live:         res.Live,
+		SupersetSize: res.SupersetSize,
+		ShadowSize:   res.ShadowSize,
+	}, commit, nil
 }
 
 // UTK1 answers a UTK1 query through the engine. The query must use the

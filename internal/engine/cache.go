@@ -53,6 +53,9 @@ func Fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 	if workers > core.MaxWorkers {
 		workers = core.MaxWorkers // execution clamps here too, so keys match behavior
 	}
+	// Layout: a fpHeaderLen-byte prefix (variant, 3 bytes of k, flags, 2
+	// bytes of workers) followed by the sorted canonical region rows.
+	// ProbeGroupID relies on these offsets.
 	key := make([]byte, 0, 16+len(rows)*(r.Dim()+1)*8)
 	key = append(key, byte(v), byte(k), byte(k>>8), byte(k>>16))
 	key = append(key, optionFlags(opts), byte(workers), byte(workers>>8))
@@ -60,6 +63,24 @@ func Fingerprint(v Variant, k int, r *geom.Region, opts core.Options) string {
 		key = append(key, row...)
 	}
 	return string(key)
+}
+
+// Fingerprint key offsets: k occupies bytes [fpKOffset, fpKEnd), the region
+// encoding starts at fpHeaderLen.
+const (
+	fpKOffset   = 1
+	fpKEnd      = 4
+	fpHeaderLen = 7
+)
+
+// ProbeGroupID projects a Fingerprint key onto the coordinates an
+// invalidation probe depends on — the depth k and the canonical region
+// encoding — dropping the variant, ablation flags, and worker count. An
+// update's affects verdict for a cached entry is a function of (region, k)
+// only, so entries sharing a group id live or die together under any batch
+// and can share one probe.
+func ProbeGroupID(key string) string {
+	return key[fpKOffset:fpKEnd] + key[fpHeaderLen:]
 }
 
 // optionFlags packs the answer-affecting ablation switches into the byte the

@@ -229,6 +229,12 @@ type Stats struct {
 	ShadowDepth    int
 	ShadowGrows    uint64
 	ShadowShrinks  uint64
+	// ProbeBatches counts update batches that ran a cache-invalidation probe
+	// pass; ProbesSaved counts the per-entry probe evaluations the batched
+	// (region, k)-grouped pass avoided relative to probing every resident
+	// entry against every classified delta individually.
+	ProbeBatches uint64
+	ProbesSaved  uint64
 	// MaxK and Workers echo the effective configuration.
 	MaxK    int
 	Workers int
@@ -313,9 +319,21 @@ type Engine struct {
 	pool *exec.Pool // the executor: query dispatch + intra-query fan-out
 
 	// updMu serializes updates and guards dyn. Queries never take it: they
-	// read the epoch-versioned index snapshot below.
-	updMu sync.Mutex
-	dyn   *skyband.Dynamic
+	// read the epoch-versioned index snapshot below. It also guards the
+	// pipeline's begin-stage bookkeeping: reservedEpoch (the epoch the most
+	// recently begun batch will have published at its commit — equal to the
+	// published epoch whenever no batch is in flight) and nextTicket.
+	updMu         sync.Mutex
+	dyn           *skyband.Dynamic
+	reservedEpoch uint64
+	nextTicket    uint64
+
+	// commitMu orders batch commits: a commit waits here until every earlier
+	// ticket has published, so epochs become visible monotonically and a
+	// batch's invalidation always lands before any later batch's epoch.
+	commitMu      sync.Mutex
+	commitCond    *sync.Cond
+	lastCommitted uint64
 
 	// idx is the current index snapshot; updates that change the superset
 	// publish a fresh one with a bumped epoch.
@@ -324,7 +342,7 @@ type Engine struct {
 	mu            sync.Mutex
 	cache         *ResultCache
 	dynStats      skyband.DynamicStats // refreshed at the end of each batch
-	updating      bool                 // an ApplyBatch is probing the cache; finish skips caching
+	updating      int                  // open invalidation-probe windows; finish skips caching while > 0
 	inflight      map[string]*flight
 	queries       uint64
 	hits          uint64
@@ -339,6 +357,8 @@ type Engine struct {
 	batches       uint64
 	coalesced     uint64
 	admSkips      uint64
+	probeBatches  uint64
+	probesSaved   uint64
 	active        int
 }
 
@@ -365,6 +385,7 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 		pool:     exec.NewPool(cfg.Workers, cfg.MaxQueued),
 		inflight: make(map[string]*flight),
 	}
+	e.commitCond = sync.NewCond(&e.commitMu)
 	if cfg.CacheEntries > 0 {
 		e.cache = NewResultCache(cfg.CacheEntries)
 	}
@@ -538,6 +559,58 @@ func (a *affectsTest) affects(r *geom.Region, k int) bool {
 // that (a failed mid-batch delete of a vanished id cannot occur, because
 // updates are serialized and ids are validated against liveness up front).
 func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
+	res, commit, err := e.ApplyBatchPipelined(ops)
+	if err != nil {
+		return nil, err
+	}
+	commit()
+	return res, nil
+}
+
+// ApplyBatchPipelined is the two-stage form of ApplyBatch for callers that
+// have their own per-batch work to overlap with cache invalidation — the
+// durable registry runs its WAL append concurrently with stage two. Stage
+// one (this call) validates, maintains the band, and reserves the batch's
+// epoch under the update mutex; stage two (the returned commit) runs the
+// invalidation probes, evicts affected cache entries, and publishes the
+// index, all off the update mutex. The returned UpdateResult is final when
+// this call returns, but queries observe the batch only once commit has
+// published it.
+//
+// commit must be called exactly once per successful begin (it is idempotent,
+// so extra calls are harmless, but a batch whose commit never runs blocks
+// every later batch's commit: commits apply in begin order). Until commit
+// returns, the probe window keeps any result computed meanwhile out of the
+// cache, so a torn or pre-batch answer can be served but never resold.
+func (e *Engine) ApplyBatchPipelined(ops []UpdateOp) (*UpdateResult, func(), error) {
+	pb, err := e.beginBatch(ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pb.res, pb.commit, nil
+}
+
+// pendingBatch is a begun-but-uncommitted batch: band maintenance has run
+// and the epoch is reserved; the probe + invalidate + publish stage waits in
+// commit.
+type pendingBatch struct {
+	e         *Engine
+	ticket    uint64
+	res       *UpdateResult
+	fresh     *index // index to publish, or nil when the band is unchanged
+	tests     []affectsTest
+	entries   []CacheEntry // cache snapshot to probe (probe window open iff tests exist)
+	window    bool         // updating was raised at begin
+	dynStats  skyband.DynamicStats
+	coalesced uint64
+	once      sync.Once
+}
+
+func (pb *pendingBatch) commit() { pb.once.Do(func() { pb.e.commitBatch(pb) }) }
+
+// beginBatch is stage one of a batch: everything that must see the dynamic
+// structure runs here, under updMu.
+func (e *Engine) beginBatch(ops []UpdateOp) (*pendingBatch, error) {
 	for _, op := range ops {
 		if op.Kind == UpdateInsert {
 			if len(op.Record) != e.dim {
@@ -666,66 +739,167 @@ func (e *Engine) ApplyBatch(ops []UpdateOp) (*UpdateResult, error) {
 		}
 	}
 
-	// Probe-and-publish. The r-dominance probes (cache entries × updates ×
-	// band) run outside e.mu so concurrent queries — cache hits especially —
-	// never queue behind them. Ordering makes the window invisible:
-	//
-	//   1. Under mu, snapshot the resident entries and raise `updating`, so
-	//      a computation finishing mid-window cannot add an entry the
-	//      snapshot missed.
-	//   2. Probe outside mu. Hits served meanwhile come from pre-update
-	//      entries while the epoch is still the old one — the batch has not
-	//      been published, so those answers are simply "before the update".
-	//   3. Under mu, evict the affected keys and only then publish the new
-	//      epoch: no query can observe the new epoch while a stale entry is
-	//      still hittable, and entries cached after publication pass
-	//      finish's current-epoch check, i.e. reflect this batch.
-	var entries []CacheEntry
-	if e.cache != nil && len(tests) > 0 {
+	// Stage-one handoff. The cache-entry snapshot and `updating` raise still
+	// happen here, before updMu is released, so a computation finishing
+	// between begin and commit cannot add an entry the probe pass misses —
+	// and the epoch reservation keeps results final at begin: the band
+	// snapshot is already the post-batch state, so the epoch this batch will
+	// publish is known even though the publish itself waits for commit.
+	pb := &pendingBatch{e: e, dynStats: dynStats, coalesced: coalescedOps, tests: tests}
+	if bandChanged {
+		e.reservedEpoch++
+		pb.fresh = bandIndex(e.reservedEpoch, snapIDs, snapRecs)
+	}
+	e.nextTicket++
+	pb.ticket = e.nextTicket
+	if len(tests) > 0 {
 		e.mu.Lock()
-		entries = e.cache.Snapshot()
-		e.updating = true
+		pb.entries = e.cache.Snapshot()
+		e.updating++
+		pb.window = true
 		e.mu.Unlock()
 	}
-	var affected []string
-	for _, ent := range entries {
-		for i := range tests {
-			if tests[i].affects(ent.Region, ent.K) {
-				affected = append(affected, ent.Key)
-				break
-			}
-		}
+	pb.res = &UpdateResult{
+		IDs:          ids,
+		Epoch:        e.reservedEpoch,
+		Live:         dynStats.Live,
+		SupersetSize: dynStats.Band,
+		ShadowSize:   dynStats.Shadow,
 	}
-	// The band sort+copy of the new snapshot also stays off e.mu: updMu
-	// keeps dyn and the epoch stable, so only the pointer swap needs the
-	// lock. The probes' final-band snapshot doubles as the published index.
-	var fresh *index
-	if bandChanged {
-		fresh = bandIndex(e.idx.Load().epoch+1, snapIDs, snapRecs)
+	return pb, nil
+}
+
+// commitBatch is stage two: probe, invalidate, publish. The r-dominance
+// probes (cache regions × deltas × band) run outside every engine lock so
+// concurrent queries — cache hits especially — never queue behind them, and
+// so a pipelined caller's own stage-two work (the registry's WAL append)
+// overlaps them. Ordering makes the window invisible:
+//
+//  1. Begin snapshotted the resident entries and raised `updating`, so a
+//     computation finishing mid-window cannot add an entry the snapshot
+//     missed.
+//  2. Probe outside the locks. Hits served meanwhile come from pre-update
+//     entries while the epoch is still the old one — the batch has not been
+//     published, so those answers are simply "before the update".
+//  3. Under mu, evict the affected keys and only then publish the new epoch:
+//     no query can observe the new epoch while a stale entry is still
+//     hittable, and entries cached after publication pass finish's
+//     current-epoch check, i.e. reflect this batch.
+//
+// The commit turnstile runs step 3 in begin (ticket) order, so when batches
+// overlap, epochs still publish monotonically and every batch's eviction
+// lands before any later epoch becomes visible.
+func (e *Engine) commitBatch(pb *pendingBatch) {
+	affected, groups := runProbes(pb.entries, pb.tests)
+
+	e.commitMu.Lock()
+	for e.lastCommitted != pb.ticket-1 {
+		e.commitCond.Wait()
 	}
 	e.mu.Lock()
 	e.batches++
-	e.coalesced += coalescedOps
-	e.dynStats = dynStats
+	e.coalesced += pb.coalesced
+	e.dynStats = pb.dynStats
+	if groups > 0 {
+		e.probeBatches++
+		e.probesSaved += uint64(len(pb.entries)-groups) * uint64(len(pb.tests))
+	}
 	if len(affected) > 0 {
 		// InvalidateKeys (not EvictKeys) so the admission policy learns which
 		// classes this update stream keeps killing.
 		e.invalidations += uint64(e.cache.InvalidateKeys(affected))
 	}
-	if fresh != nil {
-		e.idx.Store(fresh)
+	if pb.fresh != nil {
+		e.idx.Store(pb.fresh)
 	}
-	e.updating = false
-	epoch := e.idx.Load().epoch
+	if pb.window {
+		e.updating--
+	}
 	e.mu.Unlock()
+	e.lastCommitted = pb.ticket
+	e.commitCond.Broadcast()
+	e.commitMu.Unlock()
+}
 
-	return &UpdateResult{
-		IDs:          ids,
-		Epoch:        epoch,
-		Live:         dynStats.Live,
-		SupersetSize: dynStats.Band,
-		ShadowSize:   dynStats.Shadow,
-	}, nil
+// probeGroup is one batched invalidation probe: the cache entries that share
+// a probe-relevant shape (same k, geometrically identical region — the
+// ProbeGroupID projection of their keys). Every delta's affects verdict is a
+// function of (region, k) only, so one band pass settles the whole group,
+// however many variants, ablation settings, and worker counts cache entries
+// for that shape.
+type probeGroup struct {
+	region *geom.Region
+	k      int
+	keys   []string
+}
+
+// runProbes evaluates a batch's classified deltas against the snapshot of
+// resident cache entries, returning the keys whose answers the batch may
+// have changed plus the number of distinct (region, k) groups probed. Cost
+// scales with groups × deltas × band rather than entries × deltas × band.
+func runProbes(entries []CacheEntry, tests []affectsTest) (affected []string, groups int) {
+	if len(entries) == 0 || len(tests) == 0 {
+		return nil, 0
+	}
+	byShape := make(map[string]*probeGroup, len(entries))
+	order := make([]*probeGroup, 0, len(entries))
+	for _, ent := range entries {
+		gid := ProbeGroupID(ent.Key)
+		g := byShape[gid]
+		if g == nil {
+			g = &probeGroup{region: ent.Region, k: ent.K}
+			byShape[gid] = g
+			order = append(order, g)
+		}
+		g.keys = append(g.keys, ent.Key)
+	}
+	counts := make([]int, len(tests))
+	for _, g := range order {
+		if batchAffects(tests, g.region, g.k, counts) {
+			affected = append(affected, g.keys...)
+		}
+	}
+	return affected, len(order)
+}
+
+// batchAffects reports whether any of the batch's deltas can change a cached
+// (region, k) answer — the disjunction of the per-delta affects probes,
+// computed in one pass over the shared final-band snapshot instead of one
+// pass per delta. counts is caller-provided scratch of len(tests); per-delta
+// r-dominator tallies advance together as the band is walked, and the pass
+// exits as soon as every delta has accumulated its k certifying dominators
+// (all survive) or the band is exhausted with some delta short of k (that
+// delta may surface in, or vanish from, a top-k set somewhere in the
+// region — the entry must go).
+func batchAffects(tests []affectsTest, r *geom.Region, k int, counts []int) bool {
+	for i := range counts {
+		counts[i] = 0
+	}
+	remaining := len(tests)
+	// All of a batch's tests share one band snapshot (see beginBatch).
+	recs, ids := tests[0].recs, tests[0].ids
+	for i, m := range recs {
+		id := ids[i]
+		for j := range tests {
+			if counts[j] >= k {
+				continue
+			}
+			t := &tests[j]
+			if id == t.exclude || t.excludeSet[id] {
+				continue
+			}
+			if skyband.RDominates(m, t.rec, r) {
+				counts[j]++
+				if counts[j] >= k {
+					remaining--
+					if remaining == 0 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
 }
 
 // Do answers one request, consulting the cache, deduplicating against
@@ -800,7 +974,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 							// source's probe certificate covers every region
 							// it contains, so the derived answer is exact for
 							// the current dataset.
-							if !e.updating {
+							if e.updating == 0 {
 								if cur, ok := e.cache.Peek(srcKey); ok && cur == src {
 									adm, ev, costly := e.cache.Add(key, req, res)
 									if !adm {
@@ -946,6 +1120,8 @@ func (e *Engine) Stats() Stats {
 		Rebuilds:        ds.Rebuilds,
 		CoalescedOps:    e.coalesced,
 		AdmissionSkips:  e.admSkips,
+		ProbeBatches:    e.probeBatches,
+		ProbesSaved:     e.probesSaved,
 		Exhaustions:     ds.Exhaustions,
 		Repairs:         ds.Repairs,
 		RepairSteps:     ds.RepairSteps,
@@ -1037,7 +1213,7 @@ func (e *Engine) finish(flKey, key string, fl *flight, res *Result, err error, r
 	fl.res, fl.err = res, err
 	e.mu.Lock()
 	delete(e.inflight, flKey)
-	if err == nil && e.cache != nil && !e.updating && res.Epoch == e.idx.Load().epoch {
+	if err == nil && e.cache != nil && e.updating == 0 && res.Epoch == e.idx.Load().epoch {
 		adm, ev, costly := e.cache.Add(key, req, res)
 		if !adm {
 			e.admSkips++

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"runtime"
+	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/skyband"
@@ -33,8 +34,12 @@ type State struct {
 func (e *Engine) ExportState() *State {
 	e.updMu.Lock()
 	st := &State{
-		Dim:   e.dim,
-		Epoch: e.idx.Load().epoch,
+		Dim: e.dim,
+		// The reserved epoch, not the published one: with a pipelined batch
+		// between begin and commit, the dynamic structure already holds the
+		// post-batch state and the snapshot must carry that state's epoch.
+		// The two coincide whenever no batch is in flight.
+		Epoch: e.reservedEpoch,
 		Dyn:   e.dyn.State(),
 	}
 	e.updMu.Unlock()
@@ -84,13 +89,15 @@ func Restore(st *State, cfg Config) (*Engine, error) {
 	dyn.EnableIncrementalRepair(0)
 	dyn.EnableAdaptiveShadow(base, 8*base)
 	e := &Engine{
-		cfg:      cfg,
-		dim:      st.Dim,
-		pool:     exec.NewPool(cfg.Workers, cfg.MaxQueued),
-		inflight: make(map[string]*flight),
-		dyn:      dyn,
-		batches:  st.Batches,
+		cfg:           cfg,
+		dim:           st.Dim,
+		pool:          exec.NewPool(cfg.Workers, cfg.MaxQueued),
+		inflight:      make(map[string]*flight),
+		dyn:           dyn,
+		batches:       st.Batches,
+		reservedEpoch: st.Epoch,
 	}
+	e.commitCond = sync.NewCond(&e.commitMu)
 	if cfg.CacheEntries > 0 {
 		e.cache = NewResultCache(cfg.CacheEntries)
 	}

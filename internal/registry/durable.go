@@ -31,13 +31,17 @@ const (
 // Wedge auto-heal schedule: after an append failure wedges an entry, the
 // update path itself retries the re-basing snapshot with exponential backoff
 // — a transient disk error clears without an operator, while a persistent
-// one stops being retried after healMaxRetries attempts and waits for a
-// manual Snapshot (the wedge never silently unwedges without a durable
-// snapshot succeeding).
+// one stops being retried after healMaxRetries attempts. Exhausting the
+// budget is not permanent: after a calm interval (healRearmAfter) the budget
+// re-arms and a new backoff cycle begins, so a disk that recovers minutes
+// later still heals on the next update. A manual Snapshot clears the wedge
+// (and every retry clock) at any time; the wedge never silently unwedges
+// without a durable snapshot succeeding.
 const (
 	healInitialBackoff = 100 * time.Millisecond
 	healMaxBackoff     = 5 * time.Second
 	healMaxRetries     = 8
+	healRearmAfter     = 30 * time.Second
 )
 
 func (p SnapshotPolicy) withDefaults() SnapshotPolicy {
@@ -233,6 +237,14 @@ func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, e
 		// Bounded auto-heal: attempt the re-basing snapshot here, behind the
 		// backoff gate, so a transiently failing disk clears the wedge on a
 		// later update instead of rejecting forever until a manual snapshot.
+		// An exhausted retry budget re-arms after the calm interval stamped
+		// when the last budgeted attempt failed.
+		if ent.wedgeRetries >= healMaxRetries && !ent.wedgeRearmAt.IsZero() && !time.Now().Before(ent.wedgeRearmAt) {
+			ent.wedgeRetries = 0
+			ent.wedgeBackoff = healInitialBackoff
+			ent.wedgeNextTry = time.Time{}
+			ent.wedgeRearmAt = time.Time{}
+		}
 		healed := false
 		if r.st.Durable() && ent.wedgeRetries < healMaxRetries && !time.Now().Before(ent.wedgeNextTry) {
 			ent.dmu.Lock()
@@ -245,6 +257,11 @@ func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, e
 					ent.wedgeBackoff = healMaxBackoff
 				}
 				ent.wedgeNextTry = time.Now().Add(ent.wedgeBackoff)
+				if ent.wedgeRetries >= healMaxRetries {
+					// Budget exhausted: stamp the calm interval after which a
+					// fresh backoff cycle may begin.
+					ent.wedgeRearmAt = time.Now().Add(healRearmAfter)
+				}
 				ent.dmu.Lock()
 				ent.snapshotErrors++
 				ent.dmu.Unlock()
@@ -261,13 +278,27 @@ func (r *Registry) Update(name string, ops []utk.UpdateOp) (*utk.UpdateResult, e
 			return nil, err
 		}
 	}
-	res, err := ent.Engine.ApplyBatch(ops)
+	// Pipelined apply: stage one runs band maintenance and fixes the batch's
+	// result (ids, epoch) under the engine's update mutex; the WAL append —
+	// fsync included — then overlaps the engine's commit stage (invalidation
+	// probes + index publish) instead of serializing behind it. The logged
+	// epoch is the one commit publishes, so sequential replay through
+	// ApplyBatch reproduces it exactly. Both stages finish before the update
+	// is acknowledged (or its failure reported), preserving read-your-writes
+	// and the durability contract.
+	res, commit, err := ent.Engine.ApplyBatchPipelined(ops)
 	if err != nil {
 		ent.mu.Unlock()
 		return nil, err
 	}
+	committed := make(chan struct{})
+	go func() {
+		defer close(committed)
+		commit()
+	}()
 	seq := ent.seq + 1
 	nbytes, err := r.st.Append(name, &store.Batch{Seq: seq, Epoch: res.Epoch, Ops: toEngineOps(ops)})
+	<-committed
 	if err != nil {
 		ent.wedged = err
 		ent.wedgeRetries = 0
@@ -344,6 +375,7 @@ func (r *Registry) snapshotEntry(ent *Entry) error {
 	ent.wedgeRetries = 0
 	ent.wedgeBackoff = 0
 	ent.wedgeNextTry = time.Time{}
+	ent.wedgeRearmAt = time.Time{}
 	ent.dmu.Lock()
 	ent.wedgedFlag = false
 	ent.snapshotsWritten++

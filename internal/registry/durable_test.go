@@ -274,6 +274,93 @@ func TestWedgeAutoHeal(t *testing.T) {
 	}
 }
 
+// rearmHeal backdates the calm-interval deadline stamped when the heal
+// budget was exhausted, so the next Update re-arms immediately (the real
+// interval is wall-clock).
+func rearmHeal(t *testing.T, ent *Entry) {
+	t.Helper()
+	ent.mu.Lock()
+	if ent.wedgeRearmAt.IsZero() {
+		ent.mu.Unlock()
+		t.Fatal("no calm-interval deadline stamped; budget not exhausted?")
+	}
+	ent.wedgeRearmAt = time.Now().Add(-time.Second)
+	ent.mu.Unlock()
+}
+
+// TestWedgeRearmAfterCalm pins that an exhausted auto-heal budget is not
+// permanent: once the calm interval stamped at exhaustion passes, the budget
+// re-arms and a recovered store lets the update path heal the wedge on its
+// own — no manual snapshot required.
+func TestWedgeRearmAfterCalm(t *testing.T) {
+	dir := t.TempDir()
+	base, err := store.OpenFile(dir, store.FileConfig{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	fs := &flakyStore{Store: base}
+	reg := NewWithStore(fs, SnapshotPolicy{})
+	recs := dataset.Synthetic(dataset.IND, 50, 3, 4)
+	if _, err := reg.Create("ds", recs, Options{MaxK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ins := []utk.UpdateOp{{Kind: utk.UpdateInsert, Record: []float64{0.5, 0.5, 0.5}}}
+	ent, _ := reg.Get("ds")
+
+	// Wedge the entry and exhaust the heal budget against a persistently
+	// failing store.
+	fs.failAppends = 1
+	fs.failSnapshots = 1 << 30
+	if _, err := reg.Update("ds", ins); !errors.Is(err, errInjected) {
+		t.Fatalf("update with failing append: %v", err)
+	}
+	for i := 0; i < healMaxRetries; i++ {
+		armHeal(ent)
+		if _, err := reg.Update("ds", ins); err == nil {
+			t.Fatalf("attempt %d: update accepted while snapshots keep failing", i)
+		}
+	}
+	d := ent.Durability(true)
+	if !d.Wedged || d.WedgeRetries != uint64(healMaxRetries) {
+		t.Fatalf("after exhausting the budget: %+v", d)
+	}
+
+	// The store recovers, but inside the calm interval the exhausted budget
+	// still rejects updates without attempting a snapshot.
+	fs.failSnapshots = 0
+	armHeal(ent)
+	if _, err := reg.Update("ds", ins); err == nil {
+		t.Fatal("update accepted before the calm interval elapsed")
+	}
+	if d := ent.Durability(true); d.WedgeRetries != uint64(healMaxRetries) {
+		t.Fatalf("snapshot attempted with the budget exhausted: %+v", d)
+	}
+
+	// Past the calm interval the budget re-arms: the same update call
+	// attempts the re-basing snapshot, succeeds, and is applied.
+	rearmHeal(t, ent)
+	res, err := reg.Update("ds", ins)
+	if err != nil {
+		t.Fatalf("update after calm-interval re-arm: %v", err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("healed update result: %+v", res)
+	}
+	d = ent.Durability(true)
+	if d.Wedged || d.WedgeAutoHealed != 1 {
+		t.Fatalf("after re-armed heal: %+v", d)
+	}
+	if d.WedgeRetries != uint64(healMaxRetries)+1 {
+		t.Fatalf("re-armed attempt not counted: %+v", d)
+	}
+
+	// The healed entry keeps accepting updates.
+	if _, err := reg.Update("ds", ins); err != nil {
+		t.Fatalf("update after heal: %v", err)
+	}
+}
+
 func TestManualSnapshot(t *testing.T) {
 	mem := New()
 	recs := dataset.Synthetic(dataset.IND, 40, 3, 2)

@@ -67,10 +67,14 @@ type Entry struct {
 	// update path retries the re-basing snapshot itself with exponential
 	// backoff, up to healMaxRetries attempts, so a transient disk error
 	// clears without an operator. wedgeNextTry gates the next attempt;
-	// wedgeRetries counts failed attempts since the wedge.
+	// wedgeRetries counts failed attempts since the wedge. When the budget
+	// is exhausted, wedgeRearmAt is the calm-interval deadline after which
+	// the budget re-arms (a disk that recovers minutes later still heals
+	// without a manual snapshot).
 	wedgeRetries int
 	wedgeBackoff time.Duration
 	wedgeNextTry time.Time
+	wedgeRearmAt time.Time
 
 	// dmu guards the durability counters below, so stats reads never queue
 	// behind an in-progress apply or snapshot.

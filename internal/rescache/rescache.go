@@ -51,6 +51,18 @@ const (
 	invHalfLife      = 512
 )
 
+// Ledger pruning: every ledgerSweepEvery logical ticks the ledger map is
+// swept and entries whose decayed counts have both dropped below
+// ledgerPruneEps are deleted. Such a ledger is behaviorally a fresh one —
+// refusal requires invs ≥ admissionMinInvs, orders of magnitude above the
+// epsilon — so pruning never changes an admission decision; it only bounds
+// the map under workloads that rotate through many distinct (class, k)
+// groups, which would otherwise accumulate dead ledgers forever.
+const (
+	ledgerSweepEvery = 4096
+	ledgerPruneEps   = 1.0 / 1024
+)
+
 // Cache is a bounded result cache with Greedy-Dual cost-aware eviction, an
 // update-rate-aware admission policy, and a containment index over the cached
 // query regions.
@@ -118,11 +130,36 @@ func New(capacity int) *Cache {
 	}
 }
 
-// now advances the logical clock.
+// now advances the logical clock, amortizing the ledger sweep over it.
 func (c *Cache) now() uint64 {
 	c.tick++
+	if c.tick%ledgerSweepEvery == 0 {
+		c.pruneLedgers()
+	}
 	return c.tick
 }
+
+// pruneLedgers decays every admission ledger to the current tick and deletes
+// the ones indistinguishable from a fresh ledger (see ledgerPruneEps). Cost
+// is O(ledgers) once per ledgerSweepEvery ticks.
+func (c *Cache) pruneLedgers() {
+	for gk, st := range c.stats {
+		if dt := c.tick - st.last; dt > 0 {
+			f := math.Exp2(-float64(dt) / invHalfLife)
+			st.invs *= f
+			st.hits *= f
+			st.last = c.tick
+		}
+		if st.invs < ledgerPruneEps && st.hits < ledgerPruneEps {
+			delete(c.stats, gk)
+		}
+	}
+}
+
+// Ledgers reports the admission-ledger population (distinct (class, k)
+// groups currently tracked) — an observability hook for tests pinning the
+// map's boundedness under rotating-group workloads.
+func (c *Cache) Ledgers() int { return len(c.stats) }
 
 // touch marks the entry used: its recency refreshes and its priority is
 // re-anchored to the current floor, so a hot entry keeps outliving the floor

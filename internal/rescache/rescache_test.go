@@ -389,3 +389,38 @@ func TestClipCell(t *testing.T) {
 		})
 	}
 }
+
+// TestLedgerPruning pins the admission-ledger map's boundedness: a workload
+// rotating through many distinct (class, k) groups — each admitted once and
+// invalidated — must not accumulate one ledger per group forever. Ledgers
+// whose decayed counts drop below the prune epsilon are deleted by the
+// periodic sweep, so the population tracks only the recently active groups.
+func TestLedgerPruning(t *testing.T) {
+	c := New(8)
+	r := boxRegion(t, []float64{0.1, 0.1}, []float64{0.2, 0.2})
+	const groups = 20000
+	for i := 0; i < groups; i++ {
+		// A fresh k per iteration: without pruning this leaks one ledger
+		// per group (the PR 7 defect).
+		c.Add(fmt.Sprintf("g%d", i), r, i+1, 1, 10, "v")
+		c.InvalidateKeys([]string{fmt.Sprintf("g%d", i)})
+	}
+	if n := c.Ledgers(); n >= groups/2 {
+		t.Fatalf("ledger map not pruned during rotation: %d ledgers for %d groups", n, groups)
+	}
+	// Quiesce on a single group long enough for every rotation-era ledger to
+	// decay below the prune epsilon and for sweeps to run; only the recently
+	// active ledgers may remain.
+	for i := 0; i < 4*ledgerSweepEvery; i++ {
+		c.Add("steady", r, 1, 2, 10, "v")
+	}
+	if n := c.Ledgers(); n > 8 {
+		t.Fatalf("ledger map did not collapse after churn stopped: %d ledgers", n)
+	}
+	// Pruning must not change admission behavior: a pruned class's next
+	// admission decision equals a fresh class's (admitted — refusal needs a
+	// decayed invalidation count far above the prune epsilon).
+	if adm, _, _ := c.Add("back", r, 7, 1, 10, "v"); !adm {
+		t.Fatal("pruned class refused admission")
+	}
+}

@@ -525,6 +525,8 @@ func engineStatsPayload(st utk.EngineStats) map[string]any {
 		"rebuilds":         st.Rebuilds,
 		"coalesced_ops":    st.CoalescedOps,
 		"admission_skips":  st.AdmissionSkips,
+		"probe_batches":    st.ProbeBatches,
+		"probes_saved":     st.ProbesSaved,
 		"exhaustions":      st.Exhaustions,
 		"repairs":          st.Repairs,
 		"repair_steps":     st.RepairSteps,
@@ -630,6 +632,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"utk_update_batches_total", "Applied update batches.", "counter", func(st utk.EngineStats) any { return st.UpdateBatches }},
 		{"utk_coalesced_ops_total", "Batch ops elided by same-record insert/delete coalescing.", "counter", func(st utk.EngineStats) any { return st.CoalescedOps }},
 		{"utk_admission_skips_total", "Result-cache admissions refused for churning query classes.", "counter", func(st utk.EngineStats) any { return st.AdmissionSkips }},
+		{"utk_probe_batches_total", "Update batches that ran a batched cache-invalidation probe pass.", "counter", func(st utk.EngineStats) any { return st.ProbeBatches }},
+		{"utk_probes_saved_total", "Per-entry invalidation probes avoided by (region,k) grouping.", "counter", func(st utk.EngineStats) any { return st.ProbesSaved }},
 		{"utk_exhaustions_total", "Shadow exhaustions forcing a candidate reseed.", "counter", func(st utk.EngineStats) any { return st.Exhaustions }},
 		{"utk_repair_steps_total", "Chunked incremental-reseed steps executed.", "counter", func(st utk.EngineStats) any { return st.RepairSteps }},
 		{"utk_shadow_depth", "Current adaptive shadow retention depth (deepest shard).", "gauge", func(st utk.EngineStats) any { return st.ShadowDepth }},

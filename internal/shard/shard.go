@@ -32,11 +32,14 @@
 // prefix of the batch's per-shard sub-batches has applied (each shard's view
 // is still internally consistent, and single-shard batches — every Insert
 // and Delete — remain fully atomic). Results computed across an epoch change
-// are never cached.
+// are never cached, and single-flight sharing is keyed to the update seqlock
+// observed at election, so a query issued after ApplyBatch returns never
+// inherits a pre-batch in-flight answer (read-your-writes).
 package shard
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -132,6 +135,8 @@ type Engine struct {
 	saturated     uint64
 	batches       uint64
 	admSkips      uint64
+	probeBatches  uint64
+	probesSaved   uint64
 	active        int
 }
 
@@ -146,6 +151,16 @@ type flight struct {
 // errAborted marks a flight whose leader gave up (context expiry) before the
 // computation finished; waiters react by electing a new leader.
 var errAborted = errors.New("shard: in-flight computation aborted")
+
+// flightKey scopes a request fingerprint to the seqlock value observed at
+// flight election. The seqlock advances by two across every applied batch, so
+// a query that starts after a batch acks elects under a fresh key and cannot
+// adopt a pre-batch leader's answer (read-your-writes across ApplyBatch).
+func flightKey(seq uint64, key string) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	return string(b[:]) + key
+}
 
 // New builds a sharded engine over the records, assigning global ids 0..n-1
 // and distributing records round-robin across cfg.Shards partitions (shard
@@ -428,6 +443,19 @@ func (s *Engine) ApplyBatch(ops []engine.UpdateOp) (*engine.UpdateResult, error)
 	}, nil
 }
 
+// ApplyBatchPipelined satisfies the two-stage update interface the durable
+// registry pipelines WAL appends against. The sharded engine's invalidation
+// window is bridged by its seqlock rather than an epoch publish, so there is
+// no stage to defer: the batch applies in full here and the returned commit
+// is a no-op.
+func (s *Engine) ApplyBatchPipelined(ops []engine.UpdateOp) (*engine.UpdateResult, func(), error) {
+	res, err := s.ApplyBatch(ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, func() {}, nil
+}
+
 // mergeProbe is one updated record awaiting the batch's shared invalidation
 // probe against the post-batch union band — the cross-shard analogue of the
 // engine's affectsTest, under the same per-batch soundness argument: a
@@ -463,7 +491,10 @@ func (p *mergeProbe) affects(r *geom.Region, k int, ids []int, recs [][]float64)
 // evicts the affected cache entries. The window between the entry snapshot
 // and the eviction is bridged by the seqlock (still odd here): results
 // finishing meanwhile are served but not cached, so no stale entry can slip
-// in behind the scan.
+// in behind the scan. As in the single-partition engine, entries are grouped
+// by their keys' (region, k) projection — the only coordinates a probe
+// verdict depends on — so each distinct shape is probed once per batch, not
+// once per resident entry.
 func (s *Engine) invalidate(inserted map[int]place, deleted map[int]bool, delProbes []mergeProbe) {
 	s.mu.Lock()
 	entries := s.cache.Snapshot()
@@ -495,24 +526,77 @@ func (s *Engine) invalidate(inserted map[int]place, deleted map[int]bool, delPro
 		p.excludeSet = insertedSet
 		probes = append(probes, p)
 	}
+	if len(probes) == 0 || len(entries) == 0 {
+		return
+	}
 
-	var affected []string
+	type probeGroup struct {
+		region *geom.Region
+		k      int
+		keys   []string
+	}
+	byShape := make(map[string]*probeGroup, len(entries))
+	order := make([]*probeGroup, 0, len(entries))
 	for _, ent := range entries {
-		for i := range probes {
-			if probes[i].affects(ent.Region, ent.K, unionIDs, unionRecs) {
-				affected = append(affected, ent.Key)
-				break
-			}
+		gid := engine.ProbeGroupID(ent.Key)
+		g := byShape[gid]
+		if g == nil {
+			g = &probeGroup{region: ent.Region, k: ent.K}
+			byShape[gid] = g
+			order = append(order, g)
+		}
+		g.keys = append(g.keys, ent.Key)
+	}
+	var affected []string
+	counts := make([]int, len(probes))
+	for _, g := range order {
+		if batchMergeAffects(probes, g.region, g.k, unionIDs, unionRecs, counts) {
+			affected = append(affected, g.keys...)
 		}
 	}
 
 	s.mu.Lock()
+	s.probeBatches++
+	s.probesSaved += uint64(len(entries)-len(order)) * uint64(len(probes))
 	if len(affected) > 0 {
 		// InvalidateKeys (not EvictKeys) so the admission policy learns which
 		// classes this update stream keeps killing.
 		s.invalidations += uint64(s.cache.InvalidateKeys(affected))
 	}
 	s.mu.Unlock()
+}
+
+// batchMergeAffects is the disjunction of the batch's mergeProbe verdicts
+// for one (region, k) shape, computed in a single pass over the union band:
+// per-probe r-dominator tallies advance together, with an early exit once
+// every probe has its k certifying dominators (the whole group survives).
+func batchMergeAffects(probes []mergeProbe, r *geom.Region, k int, ids []int, recs [][]float64, counts []int) bool {
+	for i := range counts {
+		counts[i] = 0
+	}
+	remaining := len(probes)
+	for i, m := range recs {
+		id := ids[i]
+		for j := range probes {
+			if counts[j] >= k {
+				continue
+			}
+			p := &probes[j]
+			if id == p.exclude || p.excludeSet[id] {
+				continue
+			}
+			if skyband.RDominates(m, p.rec, r) {
+				counts[j]++
+				if counts[j] >= k {
+					remaining--
+					if remaining == 0 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
 }
 
 // unionBand collects every shard's MaxK-depth candidate list mapped to
@@ -684,10 +768,15 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 	key := engine.Fingerprint(req.Variant, req.K, req.Region, req.Opts)
 
 	// Election: answer from the cache, join an identical in-flight merge, or
-	// become the leader. Waiters on a leader that computed across an update
-	// may receive a pre-update answer (a consistent state they could equally
-	// have observed by arriving earlier); such results are never cached.
+	// become the leader. Flights are keyed by the seqlock value observed at
+	// election, mirroring the single-partition engine's epoch-keyed flights:
+	// a query arriving after an acked ApplyBatch (seq advanced by 2) can
+	// never join a leader elected before that batch, so sharing preserves
+	// read-your-writes. Waiters who DID arrive before the update may still
+	// inherit the leader's pre-update answer — a consistent state they could
+	// equally have observed on their own; such results are never cached.
 	var fl *flight
+	var flKey string
 	derivedTried := false
 	for fl == nil {
 		s.mu.Lock()
@@ -736,7 +825,8 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 				}
 			}
 		}
-		if other, ok := s.inflight[key]; ok {
+		fk := flightKey(s.seq.Load(), key)
+		if other, ok := s.inflight[fk]; ok {
 			s.mu.Unlock()
 			select {
 			case <-other.done:
@@ -756,7 +846,8 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 			return other.res, other.err
 		}
 		fl = &flight{done: make(chan struct{})}
-		s.inflight[key] = fl
+		flKey = fk
+		s.inflight[flKey] = fl
 		s.mu.Unlock()
 	}
 
@@ -777,7 +868,7 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 		s.mu.Unlock()
 	})
 	if runErr != nil {
-		s.finish(key, fl, nil, errAborted)
+		s.finish(flKey, fl, nil, errAborted)
 		s.mu.Lock()
 		if errors.Is(runErr, exec.ErrSaturated) {
 			s.saturated++
@@ -793,7 +884,7 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 		if errors.Is(err, core.ErrCanceled) {
 			// The leader's deadline expired mid-refinement; waiters re-elect
 			// rather than inheriting its fate.
-			s.finish(key, fl, nil, errAborted)
+			s.finish(flKey, fl, nil, errAborted)
 			if cerr := ctx.Err(); cerr != nil {
 				err = cerr
 			}
@@ -802,13 +893,13 @@ func (s *Engine) Do(ctx context.Context, req engine.Request) (*engine.Result, er
 			s.mu.Unlock()
 			return nil, err
 		}
-		s.finish(key, fl, nil, err)
+		s.finish(flKey, fl, nil, err)
 		return nil, err
 	}
 
 	fl.res = res
 	s.mu.Lock()
-	delete(s.inflight, key)
+	delete(s.inflight, flKey)
 	s.misses++
 	s.queries++
 	// Cache only results whose whole computation ran between updates: seq
@@ -975,6 +1066,8 @@ func (s *Engine) Stats() engine.Stats {
 		agg.ShadowEvictions += st.ShadowEvictions
 		agg.Rebuilds += st.Rebuilds
 		agg.CoalescedOps += st.CoalescedOps
+		agg.ProbeBatches += st.ProbeBatches
+		agg.ProbesSaved += st.ProbesSaved
 		agg.Exhaustions += st.Exhaustions
 		agg.Repairs += st.Repairs
 		agg.RepairSteps += st.RepairSteps
@@ -998,6 +1091,8 @@ func (s *Engine) Stats() engine.Stats {
 	agg.Rejected = s.rejected
 	agg.Saturated = s.saturated
 	agg.AdmissionSkips = s.admSkips
+	agg.ProbeBatches += s.probeBatches
+	agg.ProbesSaved += s.probesSaved
 	agg.InFlight = s.active
 	agg.UpdateBatches = s.batches
 	if s.cache != nil {

@@ -57,6 +57,12 @@ type Config struct {
 	Batches  int
 	Duration time.Duration
 	ReadOnly bool
+	// Pipelined applies batches through ApplyBatchPipelined: the updater
+	// blocks only on the begin stage (validation + band maintenance) while a
+	// background committer runs probe classification and cache invalidation.
+	// Update latency percentiles then measure the blocking portion of batch
+	// apply — the quantity pipelining exists to shrink.
+	Pipelined bool
 	// CacheEntries passes through to the engine config (0 = engine default).
 	CacheEntries int
 	Seed         int64
@@ -172,18 +178,29 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(id)))
 			lat := make([]time.Duration, 0, 4096)
-			for n := 0; ctx.Err() == nil; n++ {
+			for n := 0; ; n++ {
+				qctx, final := ctx, false
+				if ctx.Err() != nil {
+					if len(lat) > 0 {
+						break // run over
+					}
+					// A short batch-bounded run under CPU contention can end
+					// before this querier completes a single query. Finish one
+					// off-window so every querier contributes to Queries and
+					// the percentile sample is never empty.
+					qctx, final = context.Background(), true
+				}
 				q := utk.Query{K: 1 + rng.Intn(cfg.K), Region: regions[rng.Intn(len(regions))]}
 				start := time.Now()
 				var err error
 				if cfg.UTK2Every > 0 && n%cfg.UTK2Every == cfg.UTK2Every-1 {
-					_, err = e.UTK2(ctx, q)
+					_, err = e.UTK2(qctx, q)
 				} else {
-					_, err = e.UTK1(ctx, q)
+					_, err = e.UTK1(qctx, q)
 				}
 				if err != nil {
-					if ctx.Err() != nil {
-						break // run over; the error is our own cancellation
+					if !final && ctx.Err() != nil {
+						continue // canceled mid-query; the loop top decides
 					}
 					if errors.Is(err, utk.ErrSaturated) {
 						time.Sleep(100 * time.Microsecond)
@@ -198,6 +215,9 @@ func Run(cfg Config) (*Result, error) {
 					break
 				}
 				lat = append(lat, time.Since(start))
+				if final {
+					break
+				}
 			}
 			qmu.Lock()
 			qlat = append(qlat, lat...)
@@ -257,6 +277,34 @@ func drive(ctx context.Context, e *utk.Engine, cfg Config, res *Result) error {
 		return rec
 	}
 
+	// In pipelined mode a single committer goroutine drains commit closures
+	// in submission order; its channel capacity bounds how far probe work may
+	// trail band maintenance. Commits are ticket-ordered inside the engine, so
+	// draining them sequentially adds no ordering constraints of its own.
+	var (
+		commitc chan func()
+		cwg     sync.WaitGroup
+	)
+	if cfg.Pipelined {
+		commitc = make(chan func(), 64)
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for c := range commitc {
+				c()
+			}
+		}()
+	}
+	drained := false
+	drain := func() {
+		if commitc != nil && !drained {
+			drained = true
+			close(commitc)
+			cwg.Wait()
+		}
+	}
+	defer drain()
+
 	ulat := make([]time.Duration, 0, 4096)
 	deadline := time.Now().Add(cfg.Duration)
 	for batches := 0; ctx.Err() == nil; batches++ {
@@ -293,11 +341,24 @@ func drive(ctx context.Context, e *utk.Engine, cfg Config, res *Result) error {
 		}
 
 		t0 := time.Now()
-		ur, err := e.ApplyBatch(ops)
+		var ur *utk.UpdateResult
+		var err error
+		if cfg.Pipelined {
+			var commit func()
+			ur, commit, err = e.ApplyBatchPipelined(ops)
+			if err == nil {
+				ulat = append(ulat, time.Since(t0))
+				commitc <- commit
+			}
+		} else {
+			ur, err = e.ApplyBatch(ops)
+			if err == nil {
+				ulat = append(ulat, time.Since(t0))
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("stream: batch %d failed: %w", batches, err)
 		}
-		ulat = append(ulat, time.Since(t0))
 		for i := insStart; i < insStart+nIns; i++ {
 			live = append(live, ur.IDs[i])
 		}
@@ -310,6 +371,9 @@ func drive(ctx context.Context, e *utk.Engine, cfg Config, res *Result) error {
 		res.Ops += uint64(len(ops))
 	}
 
+	// Stats (and the index epoch) reflect committed batches only; finish all
+	// outstanding commits before the differential check.
+	drain()
 	if got := e.Stats().Live; got != len(live) {
 		return fmt.Errorf("stream: engine live count %d != tracked %d", got, len(live))
 	}

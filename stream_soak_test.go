@@ -251,7 +251,22 @@ func verifySoakBurst(t *testing.T, e *Engine, k int, regions []*Region, wantLive
 			wantSet[liveIDs[pos]] = true
 		}
 		if len(got.Records) != len(wantSet) {
-			t.Fatalf("UTK1 answer size %d != static %d", len(got.Records), len(wantSet))
+			var extra, missing []int
+			gotSet := map[int]bool{}
+			for _, id := range got.Records {
+				gotSet[id] = true
+				if !wantSet[id] {
+					extra = append(extra, id)
+				}
+			}
+			for id := range wantSet {
+				if !gotSet[id] {
+					missing = append(missing, id)
+				}
+			}
+			again, aerr := e.UTK1(ctx, Query{K: k, Region: r})
+			t.Fatalf("UTK1 answer size %d != static %d (cacheHit=%v extra=%v missing=%v; requery size=%d hit=%v err=%v)",
+				len(got.Records), len(wantSet), got.CacheHit, extra, missing, len(again.Records), again.CacheHit, aerr)
 		}
 		for _, id := range got.Records {
 			if !wantSet[id] {
