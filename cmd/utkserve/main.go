@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -74,6 +75,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "directory for durable dataset state (WAL + snapshots); empty = in-memory only")
 		fsync    = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (fsync per batch) or never (leave flushing to the OS)")
 		snapOps  = flag.Int("snapshot-every", 0, "snapshot a dataset after this many logged update ops (0 = default 4096, negative disables)")
+		pprofOn  = flag.Bool("pprof", false, "expose the net/http/pprof profiling endpoints under /debug/pprof/ (off by default; do not enable on untrusted networks)")
 	)
 	flag.Parse()
 
@@ -117,7 +119,7 @@ func main() {
 	// after the first, restoring the default handler).
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: *addr, Handler: withPprof(handler, *pprofOn)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -137,6 +139,26 @@ func main() {
 		}
 		log.Printf("utkserve: drained cleanly")
 	}
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in front
+// of the API handler when enabled (the handlers are registered explicitly on
+// a private mux, never on http.DefaultServeMux, so the endpoints exist only
+// behind the opt-in flag). CPU/heap/alloc profiles of the live daemon are the
+// intended way to verify the hot-path budgets under a real query mix.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	log.Printf("utkserve: pprof profiling endpoints enabled at /debug/pprof/")
+	return mux
 }
 
 // openRegistry builds the registry over the store the flags select: a

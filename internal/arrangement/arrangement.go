@@ -68,6 +68,24 @@ type Arrangement struct {
 	cells    []*Cell
 	capacity int
 	stats    *Stats
+	ws       *lp.Workspace
+}
+
+// optimize routes the classification LPs through the workspace when one was
+// provided (refinement tasks pool one per worker), or the allocating
+// package-level solver otherwise.
+func (a *Arrangement) optimize(cell []geom.Halfspace, obj []float64, maximize bool) (pt []float64, val float64, ok bool) {
+	if a.ws != nil {
+		return a.ws.OptimizeLinear(a.dim, cell, obj, maximize)
+	}
+	return lp.OptimizeLinear(a.dim, cell, obj, maximize)
+}
+
+func (a *Arrangement) interiorPoint(cell []geom.Halfspace) (pt []float64, slack float64, ok bool) {
+	if a.ws != nil {
+		return a.ws.InteriorPoint(a.dim, cell)
+	}
+	return lp.InteriorPoint(a.dim, cell)
 }
 
 // ErrEmptyCell is returned when the base region has no full-dimensional
@@ -78,11 +96,20 @@ var ErrEmptyCell = errors.New("arrangement: base region is empty or lower-dimens
 // by base. capacity is the exclusive upper bound on half-space ids that will
 // be inserted (covering sets are bit sets of that size). stats may be nil.
 func New(dim int, base []geom.Halfspace, capacity int, stats *Stats) (*Arrangement, error) {
+	return NewWith(dim, base, capacity, stats, nil)
+}
+
+// NewWith is New with a reusable LP workspace for every interior-point and
+// classification LP the arrangement issues. The workspace must stay owned by
+// the calling task for the arrangement's lifetime; results (cell interiors,
+// witnesses) never alias it.
+func NewWith(dim int, base []geom.Halfspace, capacity int, stats *Stats, ws *lp.Workspace) (*Arrangement, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
+	a := &Arrangement{dim: dim, capacity: capacity, stats: stats, ws: ws}
 	stats.LPCalls++
-	interior, _, ok := lp.InteriorPoint(dim, base)
+	interior, _, ok := a.interiorPoint(base)
 	if !ok {
 		return nil, ErrEmptyCell
 	}
@@ -96,7 +123,7 @@ func New(dim int, base []geom.Halfspace, capacity int, stats *Stats) (*Arrangeme
 		interior:    interior,
 		witnesses:   [][]float64{interior},
 	}
-	a := &Arrangement{dim: dim, cells: []*Cell{root}, capacity: capacity, stats: stats}
+	a.cells = []*Cell{root}
 	a.trackPeak()
 	return a, nil
 }
@@ -165,7 +192,7 @@ func (a *Arrangement) insertIntoCell(out []*Cell, c *Cell, id int, h geom.Halfsp
 		// extreme needs the solver.
 		if !hasPos {
 			a.stats.LPCalls++
-			maxPt, mx, ok := lp.OptimizeLinear(a.dim, c.constraints, h.A, true)
+			maxPt, mx, ok := a.optimize(c.constraints, h.A, true)
 			if !ok {
 				return out // defensive: infeasible cells should not exist
 			}
@@ -176,7 +203,7 @@ func (a *Arrangement) insertIntoCell(out []*Cell, c *Cell, id int, h geom.Halfsp
 		}
 		if !hasNeg {
 			a.stats.LPCalls++
-			minPt, mn, ok := lp.OptimizeLinear(a.dim, c.constraints, h.A, false)
+			minPt, mn, ok := a.optimize(c.constraints, h.A, false)
 			if !ok {
 				return out
 			}
@@ -225,7 +252,7 @@ func (a *Arrangement) insertIntoCell(out []*Cell, c *Cell, id int, h geom.Halfsp
 	}
 	if inside.interior == nil {
 		a.stats.LPCalls++
-		if pt, _, ok := lp.InteriorPoint(a.dim, inside.constraints); ok {
+		if pt, _, ok := a.interiorPoint(inside.constraints); ok {
 			inside.interior = pt
 			inside.witnesses = append(inside.witnesses, pt)
 		}
@@ -238,7 +265,7 @@ func (a *Arrangement) insertIntoCell(out []*Cell, c *Cell, id int, h geom.Halfsp
 	out = append(out, inside)
 	if outside.interior == nil {
 		a.stats.LPCalls++
-		if pt, _, ok := lp.InteriorPoint(a.dim, outside.constraints); ok {
+		if pt, _, ok := a.interiorPoint(outside.constraints); ok {
 			outside.interior = pt
 			outside.witnesses = append(outside.witnesses, pt)
 		}

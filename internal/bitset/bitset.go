@@ -18,6 +18,26 @@ func New(n int) Set {
 	return Set{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// Words returns the number of backing words a set of capacity n needs —
+// the size to request from an external allocator for FromWords.
+func Words(n int) int { return (n + 63) / 64 }
+
+// FromWords wraps an externally allocated (and zeroed) word buffer as a set
+// of capacity n. The buffer must hold at least Words(n) words; the set
+// aliases it, so the buffer's lifetime bounds the set's.
+func FromWords(words []uint64, n int) Set {
+	return Set{words: words[:Words(n)], n: n}
+}
+
+// CloneInto copies s into a set backed by the given word buffer (at least
+// Words(n) long; contents are overwritten). It is Clone for callers that
+// manage backing memory themselves.
+func (s Set) CloneInto(words []uint64) Set {
+	w := words[:len(s.words)]
+	copy(w, s.words)
+	return Set{words: w, n: s.n}
+}
+
 // Len returns the capacity of the set.
 func (s Set) Len() int { return s.n }
 

@@ -14,7 +14,9 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/lp"
 	"repro/internal/rtree"
+	"repro/internal/scratch"
 	"repro/internal/skyband"
 )
 
@@ -43,8 +45,10 @@ type Options struct {
 	// subregion yields exactly the full partitioning clipped to that
 	// subregion. Cell geometry may be carved differently than a sequential
 	// run's (both are exact partitionings of the same region with the same
-	// top-k sets); given a fixed region and worker count the output is
-	// deterministic. Both algorithms record the concurrency they actually
+	// top-k sets); given a fixed region, worker count, and piece count the
+	// output is deterministic (a calibrating Split model may change the piece
+	// count between otherwise identical runs — the answers stay exact, only
+	// the carving varies). Both algorithms record the concurrency they actually
 	// ran with in Stats.EffectiveWorkers, so callers can tell a honored
 	// request from a clamped one (e.g. an unsplittable vertex-only region).
 	//
@@ -57,6 +61,13 @@ type Options struct {
 	// governs all concurrency. When nil, a transient executor with Workers
 	// workers is used.
 	Pool *exec.Pool
+	// Split, when non-nil, replaces the fixed Workers·jaaOversplit piece
+	// count of the parallel JAA decomposition with the model's cost-driven
+	// choice, and feeds the model one observation per piece after each run.
+	// Long-lived callers (the engine) pass one model per dataset so
+	// calibration accumulates across queries; nil keeps the fixed default.
+	// Sequential runs (Workers ≤ 1) never consult the model.
+	Split *SplitModel
 	// Cancel, when non-nil, is polled at every Verify/Partition recursion
 	// step. Once it returns true the refinement abandons its remaining work
 	// and the algorithm returns ErrCanceled, so an expired or superseded
@@ -169,6 +180,23 @@ type refiner struct {
 	// stopped latches the first true verdict of opts.Cancel, so one poll per
 	// recursion step suffices and the unwind never resumes work.
 	stopped bool
+	// sc is the task's scratch arena: every transient bitset of the
+	// partition/verify recursion and the drill probes comes from it, and it
+	// rewinds wholesale when the task releases the refiner. ws is the pooled
+	// LP workspace the arrangement and drill LPs reuse their tableaus from.
+	// Nothing that survives release (emitted cells, verdicts) may alias
+	// either — see package scratch for the ownership rules.
+	sc *scratch.Arena
+	ws *lp.Workspace
+	// anchors is the reusable scoring buffer of selectAnchor (never live
+	// across a recursion step).
+	anchors []anchorScored
+}
+
+type anchorScored struct {
+	node  int
+	score float64
+	id    int
 }
 
 // stop polls the cancellation hook (if any), latching a positive verdict.
@@ -191,7 +219,39 @@ func newRefiner(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats
 		opts: opts,
 		st:   st,
 		hs:   make(map[int]geom.Halfspace),
+		sc:   scratch.Get(),
+		ws:   lp.GetWorkspace(),
 	}
+}
+
+// release returns the refiner's pooled scratch memory. Every slice and
+// bitset obtained from the arena is dead after this call; callers must have
+// deep-copied anything that escapes the task.
+func (rf *refiner) release() {
+	scratch.Put(rf.sc)
+	lp.PutWorkspace(rf.ws)
+	rf.sc = nil
+	rf.ws = nil
+}
+
+// newSet returns an empty arena-backed bitset over the graph's nodes.
+func (rf *refiner) newSet() bitset.Set {
+	n := rf.g.Len()
+	return bitset.FromWords(rf.sc.Words(bitset.Words(n)), n)
+}
+
+// cloneSet returns an arena-backed copy of s.
+func (rf *refiner) cloneSet(s bitset.Set) bitset.Set {
+	return s.CloneInto(rf.sc.Words(bitset.Words(s.Len())))
+}
+
+// fullSet returns an arena-backed bitset with every graph node marked.
+func (rf *refiner) fullSet() bitset.Set {
+	s := rf.newSet()
+	for i := 0; i < rf.g.Len(); i++ {
+		s.Set(i)
+	}
+	return s
 }
 
 // halfspace returns the half-space of the preference domain where competitor
@@ -231,9 +291,11 @@ func (rf *refiner) above(q, p int, w []float64) bool {
 
 // sources returns the competitors in comp whose r-dominance count restricted
 // to comp is zero — the "strongest" competitors whose half-spaces seed every
-// local arrangement (Sections 4.2 and 5).
+// local arrangement (Sections 4.2 and 5). The slice is arena-backed (it
+// lives across the recursion of the calling frame, which the arena's
+// task-end release covers).
 func (rf *refiner) sources(comp bitset.Set) []int {
-	var out []int
+	out := rf.sc.Ints(comp.Count())
 	comp.ForEach(func(q int) bool {
 		if rf.g.Anc[q].IntersectionCount(comp) == 0 {
 			out = append(out, q)
@@ -248,7 +310,7 @@ func (rf *refiner) sources(comp bitset.Set) []int {
 // inserted competitor whose half-space does not cover the cell — those can
 // never outscore the candidate inside the cell.
 func (rf *refiner) cannotAffect(srcs []int, cell *arrangement.Cell, comp bitset.Set) bitset.Set {
-	out := bitset.New(rf.g.Len())
+	out := rf.newSet()
 	for _, q := range srcs {
 		if !cell.Covering().Has(q) {
 			out.Or(rf.g.Desc[q])

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"repro/internal/geom"
-	"repro/internal/lp"
-
 	"repro/internal/bitset"
+	"repro/internal/geom"
 )
 
 // cancelStride is how many drill-probe nodes are visited between
@@ -25,7 +23,7 @@ func (rf *refiner) drillVector(p int, cell []geom.Halfspace) []float64 {
 		obj[i] = rec[i] - rec[d-1]
 	}
 	rf.st.Arrangement.LPCalls++
-	w, _, ok := lp.OptimizeLinear(rf.dim, cell, obj, true)
+	w, _, ok := rf.ws.OptimizeLinear(rf.dim, cell, obj, true)
 	if !ok {
 		return nil
 	}
@@ -67,10 +65,12 @@ func (rf *refiner) countAbove(p int, comp bitset.Set, w []float64, limit int) in
 	// subtree. Traversal starts from the graph roots and passes through
 	// non-competitor nodes (they are transit only and are not counted).
 	n := rf.g.Len()
-	visited := bitset.New(n)
+	mark := rf.sc.Mark()
+	defer rf.sc.Rewind(mark)
+	visited := rf.newSet()
 	sp := geom.Score(rf.g.Records[p], w)
 	cnt := 0
-	var stack []int
+	stack := rf.sc.Ints(n)
 	push := func(q int) {
 		if !visited.Has(q) {
 			visited.Set(q)

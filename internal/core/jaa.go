@@ -98,8 +98,9 @@ func JAAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 		// Every candidate is in every top-k set: R is a single partition, and
 		// no decomposition could be cheaper.
 		rf := newRefiner(g, r, k, opts, st)
+		defer rf.release()
 		js := &jaaState{rf: rf}
-		js.emit(r.Halfspaces(), r.Pivot(), fullSet(n), -1, bitset.New(n))
+		js.emit(r.Halfspaces(), r.Pivot(), rf.fullSet(), -1, rf.newSet())
 		finishStats(st, js.out)
 		return js.out, nil
 	}
@@ -131,27 +132,27 @@ func JAAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 // exact r-skyband, but prunes genuinely on the narrower subregions of a
 // decomposed run).
 func jaaRegion(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats) ([]CellResult, bool) {
-	n := g.Len()
 	rf := newRefiner(g, r, k, opts, st)
+	defer rf.release()
 	js := &jaaState{rf: rf}
 
-	excluded := intervalExcluded(g, r, k)
-	eligible := fullSet(n)
+	excluded := rf.intervalExcluded(r)
+	eligible := rf.fullSet()
 	eligible.AndNot(excluded)
 	if eligible.Count() <= k {
 		// Every non-excluded candidate is in every top-k set of the region:
 		// one cell, same emit shape as the recursion's exhausted-eligible
 		// branch.
-		js.emit(r.Halfspaces(), r.Pivot(), eligible, -1, bitset.New(n))
+		js.emit(r.Halfspaces(), r.Pivot(), eligible, -1, rf.newSet())
 		return js.out, rf.stopped
 	}
 
 	// Initial anchor: the k-th scoring candidate at the pivot of the region
 	// (Section 5.1), with its non-excluded ancestors as the known prefix.
 	anchor := rf.selectAnchor(r.Pivot(), eligible, k)
-	prefix := g.Anc[anchor].Clone()
+	prefix := rf.cloneSet(g.Anc[anchor])
 	prefix.AndNot(excluded) // excluded ancestors can never count toward k
-	ignore := prefix.Clone()
+	ignore := rf.cloneSet(prefix)
 	ignore.Or(g.Desc[anchor])
 	ignore.Or(excluded)
 	js.partition(anchor, r.Halfspaces(), k-prefix.Count(), ignore, prefix, excluded)
@@ -159,12 +160,12 @@ func jaaRegion(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats)
 }
 
 // intervalExcluded returns the candidates provably outside every top-k set
-// of the region, as a bit set over the graph nodes (the shared k-th
-// min-score rule, applied over the graph's candidate set against a
+// of the region, as an arena-backed bit set over the graph nodes (the shared
+// k-th min-score rule, applied over the graph's candidate set against a
 // subregion).
-func intervalExcluded(g *skyband.Graph, r *geom.Region, k int) bitset.Set {
-	ex := bitset.New(g.Len())
-	for i, out := range skyband.IntervalExcluded(g.Records, r, k) {
+func (rf *refiner) intervalExcluded(r *geom.Region) bitset.Set {
+	ex := rf.newSet()
+	for i, out := range skyband.IntervalExcluded(rf.g.Records, r, rf.k) {
 		if out {
 			ex.Set(i)
 		}
@@ -173,16 +174,21 @@ func intervalExcluded(g *skyband.Graph, r *geom.Region, k int) bitset.Set {
 }
 
 // jaaParallel is the decomposed UTK2 run: split the query region into
-// Workers·jaaOversplit subregions by longest-axis bisection, run an
-// independent JAA per subregion — Workers at a time on the executor — then
-// stitch. The union of the subregion partitionings is an exact partitioning
+// subregions by longest-axis bisection — Workers·jaaOversplit of them, or
+// the count a calibrated Options.Split cost model picks — run an independent
+// JAA per subregion — Workers at a time on the executor — then stitch. The union of the subregion partitionings is an exact partitioning
 // of R (subregions tile R, and JAA restricted to a subregion is the full
 // partitioning clipped to it); the stitch pass coalesces cell fragments that
 // were split purely by a seam — identical top-k sets and identical
 // constraints up to one complementary seam pair — back into one cell, so the
 // emitted partitioning is canonical for a given (region, Workers) pair.
 func jaaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats) ([]CellResult, error) {
-	subs, seams := geom.SplitRegion(r, opts.Workers*jaaOversplit)
+	pieces := opts.Workers * jaaOversplit
+	vol := regionVolumeProxy(r)
+	if opts.Split != nil {
+		pieces = opts.Split.Pieces(vol, opts.Workers)
+	}
+	subs, seams := geom.SplitRegion(r, pieces)
 	st.EffectiveWorkers = opts.Workers
 	if len(subs) < opts.Workers {
 		st.EffectiveWorkers = len(subs)
@@ -198,13 +204,16 @@ func jaaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 	}
 	results := make([][]CellResult, len(subs))
 	workerStats := make([]*Stats, len(subs))
+	pieceTimes := make([]time.Duration, len(subs))
 	stopped := make([]bool, len(subs))
 	grp := opts.executor().NewGroup(nil)
 	for i, sub := range subs {
 		i, sub := i, sub
 		workerStats[i] = &Stats{}
 		grp.Go(func(context.Context) error {
+			start := time.Now()
 			results[i], stopped[i] = jaaRegion(g, sub, k, opts, workerStats[i])
+			pieceTimes[i] = time.Since(start)
 			return nil
 		})
 	}
@@ -213,6 +222,16 @@ func jaaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 		st.Merge(workerStats[i])
 		if stopped[i] {
 			return nil, ErrCanceled
+		}
+	}
+	if opts.Split != nil {
+		// Calibrate from this run: each piece is one (volume, candidates,
+		// work) observation. Work is the piece's measured refinement time —
+		// LP counts look appealing but mislead the fit, because shrinking a
+		// piece makes each of its LPs cheaper (fewer constraint rows), so
+		// the LP count's volume exponent understates the real one.
+		for i, sub := range subs {
+			opts.Split.Observe(regionVolumeProxy(sub), g.Len(), pieceTimes[i].Seconds())
 		}
 	}
 	var out []CellResult
@@ -455,16 +474,12 @@ func finishStats(st *Stats, cells []CellResult) {
 // the last member of the top-k set at w). m is clamped to the eligible
 // population by the callers.
 func (rf *refiner) selectAnchor(w []float64, eligible bitset.Set, m int) int {
-	type scored struct {
-		node  int
-		score float64
-		id    int
-	}
-	all := make([]scored, 0, eligible.Count())
+	all := rf.anchors[:0]
 	eligible.ForEach(func(q int) bool {
-		all = append(all, scored{q, geom.Score(rf.g.Records[q], w), rf.g.IDs[q]})
+		all = append(all, anchorScored{q, geom.Score(rf.g.Records[q], w), rf.g.IDs[q]})
 		return true
 	})
+	rf.anchors = all[:0]
 	sort.Slice(all, func(a, b int) bool {
 		if all[a].score != all[b].score {
 			return all[a].score > all[b].score
@@ -479,7 +494,9 @@ func (rf *refiner) selectAnchor(w []float64, eligible bitset.Set, m int) int {
 // population fits within k). The cell's outer bounding box is computed here,
 // once, so every later clip of the cell starts from it for free.
 func (js *jaaState) emit(cell []geom.Halfspace, interior []float64, prefix bitset.Set, anchor int, covering bitset.Set) {
-	set := prefix.Clone()
+	mark := js.rf.sc.Mark()
+	defer js.rf.sc.Rewind(mark)
+	set := js.rf.cloneSet(prefix)
 	set.Or(covering)
 	if anchor >= 0 {
 		set.Set(anchor)
@@ -518,17 +535,19 @@ func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, p
 		return
 	}
 	rf.st.PartitionCalls++
+	mark := rf.sc.Mark()
+	defer rf.sc.Rewind(mark)
 	n := rf.g.Len()
-	comp := fullSet(n)
+	comp := rf.fullSet()
 	comp.AndNot(ignore)
 	comp.Clear(p)
 
-	arr, err := arrangement.New(rf.dim, cell, n, &rf.st.Arrangement)
+	arr, err := arrangement.NewWith(rf.dim, cell, n, &rf.st.Arrangement, rf.ws)
 	if err != nil {
 		return // defensive: cells passed down are full-dimensional
 	}
 	srcs := rf.sources(comp)
-	inserted := bitset.New(n)
+	inserted := rf.newSet()
 	for _, q := range srcs {
 		arr.Insert(q, rf.halfspace(q, p))
 		inserted.Set(q)
@@ -542,29 +561,29 @@ func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, p
 			// Greater-than partition: p (and its descendants) are outside
 			// every top-k set here; restart with a fresh anchor. No Lemma-1
 			// confirmation is needed (counts only grow).
-			ex := excluded.Clone()
+			ex := rf.cloneSet(excluded)
 			ex.Set(p)
 			ex.Or(rf.g.Desc[p])
-			eligible := fullSet(n)
+			eligible := rf.fullSet()
 			eligible.AndNot(ex)
 			if eligible.Count() <= rf.k {
 				// Everyone still eligible fits in the top-k set.
-				js.emit(c.Constraints(), c.Interior(), eligible, -1, bitset.New(n))
+				js.emit(c.Constraints(), c.Interior(), eligible, -1, rf.newSet())
 				continue
 			}
 			na := rf.selectAnchor(c.Interior(), eligible, rf.k)
-			nprefix := rf.g.Anc[na].Clone()
+			nprefix := rf.cloneSet(rf.g.Anc[na])
 			nprefix.AndNot(ex) // ancestors that are excluded can never count
-			nignore := nprefix.Clone()
+			nignore := rf.cloneSet(nprefix)
 			nignore.Or(rf.g.Desc[na])
 			nignore.Or(ex)
 			js.partition(na, c.Constraints(), rf.k-nprefix.Count(), nignore, nprefix, ex)
 		default:
 			cannot := rf.cannotAffect(srcs, c, comp)
-			remaining := comp.Clone()
+			remaining := rf.cloneSet(comp)
 			remaining.AndNot(inserted)
 			remaining.AndNot(cannot)
-			covering := inserted.Clone()
+			covering := rf.cloneSet(inserted)
 			covering.And(c.Covering())
 			if remaining.Empty() {
 				// Rank confirmed by Lemma 1.
@@ -576,11 +595,11 @@ func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, p
 				// Less-than partition: the k' = |prefix|+rank top records are
 				// known; recurse for the remaining quota−rank slots with a
 				// new anchor.
-				nprefix := prefix.Clone()
+				nprefix := rf.cloneSet(prefix)
 				nprefix.Or(covering)
 				nprefix.Set(p)
 				nquota := quota - rank
-				eligible := fullSet(n)
+				eligible := rf.fullSet()
 				eligible.AndNot(nprefix)
 				eligible.AndNot(excluded)
 				if eligible.Count() <= nquota {
@@ -588,7 +607,7 @@ func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, p
 					continue
 				}
 				na := rf.selectAnchor(c.Interior(), eligible, nquota)
-				nignore := nprefix.Clone()
+				nignore := rf.cloneSet(nprefix)
 				nignore.Or(rf.g.Desc[na])
 				nignore.Or(excluded)
 				js.partition(na, c.Constraints(), nquota, nignore, nprefix, excluded)
@@ -597,9 +616,9 @@ func (js *jaaState) partition(p int, cell []geom.Halfspace, quota int, ignore, p
 			// Unclassified: continue partitioning with the same anchor,
 			// ignoring the processed and Lemma-1-disregarded competitors and
 			// folding the covering ones into the prefix.
-			nprefix := prefix.Clone()
+			nprefix := rf.cloneSet(prefix)
 			nprefix.Or(covering)
-			nignore := ignore.Clone()
+			nignore := rf.cloneSet(ignore)
 			nignore.Or(inserted)
 			nignore.Or(cannot)
 			js.partition(p, c.Constraints(), quota-cnt, nignore, nprefix, excluded)

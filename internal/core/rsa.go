@@ -91,8 +91,10 @@ func RSAFromGraph(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Sta
 func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stats, order []int) (bitset.Set, bool) {
 	n := g.Len()
 	rf := newRefiner(g, r, k, opts, st)
+	defer rf.release()
 	active := fullSet(n) // candidates not yet disqualified
 	verified := bitset.New(n)
+	hs := r.Halfspaces()
 	for _, p := range order {
 		if rf.stop() {
 			return verified, true
@@ -103,9 +105,10 @@ func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *St
 		// The quota reduction may use the full ancestor set: every ancestor
 		// outscores p throughout R and counts toward its rank whether or not
 		// it is itself part of the result.
-		ignore := g.Anc[p].Clone()
+		mark := rf.sc.Mark()
+		ignore := rf.cloneSet(g.Anc[p])
 		quota := k - ignore.Count()
-		if rf.verify(p, r.Halfspaces(), quota, ignore, active) {
+		if rf.verify(p, hs, quota, ignore, active) {
 			verified.Set(p)
 			g.Anc[p].ForEach(func(a int) bool {
 				verified.Set(a)
@@ -114,6 +117,7 @@ func rsaSequential(g *skyband.Graph, r *geom.Region, k int, opts Options, st *St
 		} else {
 			active.Clear(p)
 		}
+		rf.sc.Rewind(mark)
 	}
 	return verified, rf.stopped
 }
@@ -138,7 +142,9 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 		workerStats[wi] = &Stats{}
 		grp.Go(func(context.Context) error {
 			rf := newRefiner(g, r, k, opts, workerStats[wi])
+			defer rf.release()
 			defer func() { stopped[wi] = rf.stopped }()
+			hs := r.Halfspaces()
 			for {
 				if rf.stop() {
 					return nil
@@ -157,11 +163,12 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 					mu.Unlock()
 					return nil
 				}
-				snapshot := active.Clone()
+				mark := rf.sc.Mark()
+				snapshot := rf.cloneSet(active)
 				mu.Unlock()
-				ignore := g.Anc[p].Clone()
+				ignore := rf.cloneSet(g.Anc[p])
 				quota := k - ignore.Count()
-				ok := rf.verify(p, r.Halfspaces(), quota, ignore, snapshot)
+				ok := rf.verify(p, hs, quota, ignore, snapshot)
 				mu.Lock()
 				if ok {
 					verified.Set(p)
@@ -173,6 +180,7 @@ func rsaParallel(g *skyband.Graph, r *geom.Region, k int, opts Options, st *Stat
 					active.Clear(p)
 				}
 				mu.Unlock()
+				rf.sc.Rewind(mark)
 			}
 		})
 	}
@@ -199,7 +207,9 @@ func (rf *refiner) verify(p int, cell []geom.Halfspace, quota int, ignore, activ
 	if quota <= 0 {
 		return false
 	}
-	comp := active.Clone()
+	mark := rf.sc.Mark()
+	defer rf.sc.Rewind(mark)
+	comp := rf.cloneSet(active)
 	comp.AndNot(ignore)
 	comp.Clear(p)
 
@@ -211,13 +221,13 @@ func (rf *refiner) verify(p int, cell []geom.Halfspace, quota int, ignore, activ
 		return true
 	}
 
-	arr, err := arrangement.New(rf.dim, cell, rf.g.Len(), &rf.st.Arrangement)
+	arr, err := arrangement.NewWith(rf.dim, cell, rf.g.Len(), &rf.st.Arrangement, rf.ws)
 	if err != nil {
 		// Defensive: recursion only descends into full-dimensional cells.
 		return false
 	}
 	srcs := rf.sources(comp)
-	inserted := bitset.New(rf.g.Len())
+	inserted := rf.newSet()
 	for _, q := range srcs {
 		arr.Insert(q, rf.halfspace(q, p))
 		inserted.Set(q)
@@ -236,7 +246,7 @@ func (rf *refiner) verify(p int, cell []geom.Halfspace, quota int, ignore, activ
 	})
 	for _, c := range promising {
 		cannot := rf.cannotAffect(srcs, c, comp)
-		remaining := comp.Clone()
+		remaining := rf.cloneSet(comp)
 		remaining.AndNot(inserted)
 		remaining.AndNot(cannot)
 		if remaining.Empty() {
@@ -244,7 +254,7 @@ func (rf *refiner) verify(p int, cell []geom.Halfspace, quota int, ignore, activ
 			// half-space can overlap this partition.
 			return true
 		}
-		next := ignore.Clone()
+		next := rf.cloneSet(ignore)
 		next.Or(inserted)
 		next.Or(cannot)
 		if rf.verify(p, c.Constraints(), quota-c.Count(), next, active) {

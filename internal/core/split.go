@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// splitMinObs is how many decomposition pieces a SplitModel must have
+// observed before its fit replaces the fixed jaaOversplit default.
+const splitMinObs = 12
+
+// splitMaxOversplit bounds the model's choice to this many pieces per worker;
+// beyond it the per-piece fixed costs provably dominate any workload the fit
+// could describe, and the seam-coalescing pass grows quadratic in fragments.
+const splitMaxOversplit = 16
+
+// splitMaxPieces is a global ceiling on the chosen piece count, independent
+// of the worker count. The model is fitted on per-piece refinement times
+// measured inside their worker, so it cannot see the costs that scale with
+// the total piece count rather than piece extent — executor scheduling,
+// seam-fragment coalescing, and the final stitch — and those measurably
+// outrun the extent gains past this many pieces on every workload sweeped.
+const splitMaxPieces = 64
+
+// SplitModel picks the parallel JAA decomposition's piece count from an
+// online-fitted cost model, replacing the fixed Workers·jaaOversplit rule.
+//
+// The model is the two-term shape the decomposition's economics actually
+// have: refining a piece of volume v out of a query with c candidates costs
+// about c·(f₀ + e^a·vᵞ) — a fixed per-piece overhead (anchor selection over
+// the whole candidate set, seam-cell duplication, arrangement setup) plus a
+// variable term superlinear in region extent (γ > 1 is why oversplitting
+// wins at all). Dividing observed piece work (the piece's measured
+// refinement time) by the query's candidate count makes
+// observations comparable across queries and drops c from the optimization
+// entirely: the best piece count for total cost P·c·(f₀ + e^a·(V/P)ᵞ)
+// depends only on the region's volume V. (a, γ) come from a least-squares
+// fit of log per-candidate work against log piece volume; f₀ is the
+// smallest per-candidate work ever observed — the cheapest piece is the one
+// whose variable term had vanished, so it bounds the fixed cost from above
+// by exactly the amount the fit can absorb.
+//
+// A SplitModel is safe for concurrent use; the zero value is ready and
+// behaves like the fixed default until calibrated. One model per engine (or
+// per long-lived caller) is the intended granularity: calibration reflects
+// that dataset's candidate density and that machine's LP cost.
+type SplitModel struct {
+	mu     sync.Mutex
+	n      int
+	sx     float64 // Σ log v
+	sy     float64 // Σ log(work/candidates)
+	sxx    float64 // Σ (log v)²
+	sxy    float64 // Σ log v · log(work/candidates)
+	minPer float64 // smallest observed per-candidate work (f₀)
+}
+
+// Observe records one decomposition piece: the piece region's volume proxy,
+// the query's candidate count, and the piece's measured work (refinement
+// seconds). Degenerate observations are ignored.
+func (m *SplitModel) Observe(volume float64, candidates int, work float64) {
+	if m == nil || volume <= 0 || candidates <= 0 || work <= 0 {
+		return
+	}
+	per := work / float64(candidates)
+	x, y := math.Log(volume), math.Log(per)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n++
+	m.sx += x
+	m.sy += y
+	m.sxx += x * x
+	m.sxy += x * y
+	if m.minPer == 0 || per < m.minPer {
+		m.minPer = per
+	}
+}
+
+// Pieces returns the piece count for decomposing a region of the given
+// volume proxy across workers: the multiple of workers minimizing the fitted
+// total cost, or the fixed Workers·jaaOversplit default while uncalibrated
+// (nil model, too few observations, or no volume spread among them yet). The
+// result is always in [workers, workers·splitMaxOversplit] and — except for
+// the mandatory one-piece-per-worker floor — at most splitMaxPieces.
+func (m *SplitModel) Pieces(volume float64, workers int) int {
+	def := workers * jaaOversplit
+	if m == nil || volume <= 0 {
+		return def
+	}
+	m.mu.Lock()
+	n, sx, sy, sxx, sxy, f0 := float64(m.n), m.sx, m.sy, m.sxx, m.sxy, m.minPer
+	m.mu.Unlock()
+	if m.n < splitMinObs {
+		return def
+	}
+	den := n*sxx - sx*sx
+	if den <= 1e-9*math.Max(1, sxx) {
+		return def // all observations at one volume: slope unidentifiable
+	}
+	g := (n*sxy - sx*sy) / den
+	// Slopes outside the physically sensible band are fit noise (γ < 0 would
+	// mean bigger regions are cheaper; γ > 4 outruns the arrangement's worst
+	// case). Fall back rather than optimize a curve we do not believe.
+	if g < 0 || g > 4 {
+		return def
+	}
+	a := (sy - g*sx) / n
+	best, bestCost := def, math.Inf(1)
+	for mult := 1; mult <= splitMaxOversplit; mult++ {
+		p := workers * mult
+		if p > splitMaxPieces && mult > 1 {
+			break
+		}
+		cost := float64(p) * (f0 + math.Exp(a+g*math.Log(volume/float64(p))))
+		if cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	return best
+}
+
+// Calibrated reports whether the model has enough observations to override
+// the fixed default (it may still decline per query; see Pieces).
+func (m *SplitModel) Calibrated() bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n >= splitMinObs
+}
+
+// regionVolumeProxy is the volume measure the split model is fitted and
+// queried with: the product of the region's outer-box extents, floored at
+// Eps per axis so thin-but-refinable slabs keep a usable ordering.
+func regionVolumeProxy(r *geom.Region) float64 {
+	lo, hi := r.OuterBox()
+	if lo == nil {
+		return 0
+	}
+	v := 1.0
+	for i := range lo {
+		ext := hi[i] - lo[i]
+		if ext < geom.Eps {
+			ext = geom.Eps
+		}
+		v *= ext
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feedSplitModel calibrates a model from a synthetic cost curve
+// w(v) = cand·(f0 + amp·v^gamma) sampled over a volume logspace.
+func feedSplitModel(m *SplitModel, f0, amp, gamma float64, cand int) {
+	for i := 0; i < 24; i++ {
+		v := math.Pow(10, -4+float64(i)*0.25) // 1e-4 .. ~6e2
+		w := float64(cand) * (f0 + amp*math.Pow(v, gamma))
+		m.Observe(v, cand, w)
+	}
+}
+
+func TestSplitModelFit(t *testing.T) {
+	const workers = 4
+	def := workers * jaaOversplit
+
+	var nilModel *SplitModel
+	if got := nilModel.Pieces(1, workers); got != def {
+		t.Fatalf("nil model: pieces = %d, want default %d", got, def)
+	}
+	if nilModel.Calibrated() {
+		t.Fatal("nil model reports calibrated")
+	}
+
+	fresh := &SplitModel{}
+	if got := fresh.Pieces(1, workers); got != def {
+		t.Fatalf("uncalibrated model: pieces = %d, want default %d", got, def)
+	}
+
+	// Degenerate observations must be ignored, and a model whose volumes
+	// have no spread cannot identify a slope: default either way.
+	flat := &SplitModel{}
+	flat.Observe(-1, 10, 5)
+	flat.Observe(0.1, 0, 5)
+	flat.Observe(0.1, 10, -2)
+	for i := 0; i < 2*splitMinObs; i++ {
+		flat.Observe(0.25, 100, 50)
+	}
+	if got := flat.Pieces(0.25, workers); got != def {
+		t.Fatalf("no-spread model: pieces = %d, want default %d", got, def)
+	}
+
+	// Strongly superlinear work with negligible fixed cost: splitting is
+	// nearly free, so the model should oversplit beyond the fixed default.
+	steep := &SplitModel{}
+	feedSplitModel(steep, 1e-9, 1.0, 2.0, 300)
+	if !steep.Calibrated() {
+		t.Fatal("steep model not calibrated after feeding")
+	}
+	pSteep := steep.Pieces(0.5, workers)
+	if pSteep <= def {
+		t.Fatalf("steep curve: pieces = %d, want > default %d", pSteep, def)
+	}
+	if pSteep > workers*splitMaxOversplit {
+		t.Fatalf("pieces = %d exceeds the %d bound", pSteep, workers*splitMaxOversplit)
+	}
+
+	// Dominant fixed cost: every extra piece is pure overhead, so the model
+	// should fall to the minimum (one piece per worker).
+	costly := &SplitModel{}
+	feedSplitModel(costly, 100, 1e-4, 1.5, 300)
+	if got := costly.Pieces(0.5, workers); got != workers {
+		t.Fatalf("fixed-cost-dominated curve: pieces = %d, want %d", got, workers)
+	}
+
+	// Sublinear-but-positive slope (γ < 1): P·(V/P)^γ grows with P, so more
+	// pieces only ever add cost; expect the minimum as well.
+	sub := &SplitModel{}
+	feedSplitModel(sub, 0.01, 1.0, 0.5, 300)
+	if got := sub.Pieces(0.5, workers); got != workers {
+		t.Fatalf("sublinear curve: pieces = %d, want %d", got, workers)
+	}
+}
+
+// TestJAAAdaptiveSplitMatchesSequential runs the decomposed JAA with a live
+// split model through its whole lifecycle — uncalibrated on the first query,
+// calibrated from real piece observations afterwards — and pins every run to
+// the sequential answer: identical id unions, identical unique top-k sets,
+// and brute-force confirmation at each cell interior.
+func TestJAAAdaptiveSplitMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1414))
+	for trial := 0; trial < 3; trial++ {
+		d := 3 + trial // data dimensionality 3–5
+		data := randomData(rng, 220, d)
+		tree := buildTree(t, data)
+		r := randomBox(rng, d-1)
+		k := 2 + rng.Intn(4)
+		seq, _, err := JAA(tree, r, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqSets := uniqueTopKSets(seq)
+		seqIDs := unionIDs(seq)
+		model := &SplitModel{}
+		for _, workers := range []int{2, 4, 4, 4} { // repeated W=4: calibrated reruns
+			par, _, err := JAA(tree, r, k, Options{Workers: workers, Split: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctxt := fmt.Sprintf("trial=%d d=%d k=%d W=%d calibrated=%v", trial, d, k, workers, model.Calibrated())
+			if got := unionIDs(par); !equalIDs(got, seqIDs) {
+				t.Fatalf("%s: UTK1 union %v != sequential %v", ctxt, got, seqIDs)
+			}
+			parSets := uniqueTopKSets(par)
+			if len(parSets) != len(seqSets) {
+				t.Fatalf("%s: unique top-k sets %d vs sequential %d", ctxt, len(parSets), len(seqSets))
+			}
+			for s := range parSets {
+				if !seqSets[s] {
+					t.Fatalf("%s: top-k set %s missing from sequential run", ctxt, s)
+				}
+			}
+			for i := range par {
+				want := topKBrute(data, par[i].Interior, k)
+				if !equalIDs(par[i].TopK, want) {
+					t.Fatalf("%s: cell %d at %v: top-k %v, brute force %v", ctxt, i, par[i].Interior, par[i].TopK, want)
+				}
+			}
+		}
+		if !model.Calibrated() {
+			t.Fatalf("trial=%d: model never calibrated across four decomposed runs", trial)
+		}
+	}
+}

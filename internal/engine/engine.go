@@ -129,7 +129,8 @@ type Request struct {
 	// deadline/epoch hook; the ablation flags and Workers participate in the
 	// cache fingerprint (decomposed UTK2 answers are exact but may carve
 	// cells differently than sequential ones, so each worker setting caches
-	// its own deterministic answer). Pool is overwritten by the engine.
+	// its own answer). Pool and Split are overwritten by the engine: all
+	// queries share its executor and its decomposition cost model.
 	Opts core.Options
 }
 
@@ -258,10 +259,18 @@ type UpdateOp struct {
 }
 
 // subIndex is the candidate list for one top-k depth: the classic k-skyband
-// members and their dataset ids.
+// members and their dataset ids, plus the columnar float32 layout the
+// interval prefilter's score kernel streams over. The columns are built once
+// when the sub-index is created (once per epoch per depth) and shared
+// read-only by every query against that snapshot.
 type subIndex struct {
 	recs [][]float64
 	ids  []int
+	cols *skyband.Columns
+}
+
+func newSubIndex(recs [][]float64, ids []int) *subIndex {
+	return &subIndex{recs: recs, ids: ids, cols: skyband.NewColumns(recs)}
 }
 
 // index is one immutable-epoch view of the candidate lists. The superset
@@ -297,7 +306,7 @@ func (ix *index) subFor(k, maxK int) *subIndex {
 		recs[i] = base.recs[idx]
 		dsIDs[i] = base.ids[idx]
 	}
-	s := &subIndex{recs: recs, ids: dsIDs}
+	s := newSubIndex(recs, dsIDs)
 	ix.subs[k] = s
 	return s
 }
@@ -317,6 +326,11 @@ type Engine struct {
 	dim int
 
 	pool *exec.Pool // the executor: query dispatch + intra-query fan-out
+
+	// split is the engine's decomposition cost model: every parallel UTK2
+	// query calibrates it and consults it, so the piece count adapts to this
+	// dataset's candidate density on this machine. Safe for concurrent use.
+	split *core.SplitModel
 
 	// updMu serializes updates and guards dyn. Queries never take it: they
 	// read the epoch-versioned index snapshot below. It also guards the
@@ -383,6 +397,7 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		dim:      t.Dim(),
 		pool:     exec.NewPool(cfg.Workers, cfg.MaxQueued),
+		split:    &core.SplitModel{},
 		inflight: make(map[string]*flight),
 	}
 	e.commitCond = sync.NewCond(&e.commitMu)
@@ -412,7 +427,7 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 // bandIndex wraps a band snapshot (parallel id/record slices, treated as
 // immutable from here on) into a new index at the given epoch.
 func bandIndex(epoch uint64, ids []int, recs [][]float64) *index {
-	return &index{epoch: epoch, super: &subIndex{recs: recs, ids: ids}, subs: map[int]*subIndex{}}
+	return &index{epoch: epoch, super: newSubIndex(recs, ids), subs: map[int]*subIndex{}}
 }
 
 // SupersetSize returns the current size of the candidate superset.
@@ -1163,8 +1178,9 @@ func (e *Engine) compute(ctx context.Context, req Request, ix *index, abortOnSup
 	opts := req.Opts
 	// Intra-query parallelism (Opts.Workers > 1) fans out on the engine's
 	// own executor, so inter-query and intra-query concurrency share one
-	// worker budget.
+	// worker budget; decomposed queries share the engine's split cost model.
 	opts.Pool = e.pool
+	opts.Split = e.split
 	done := ctx.Done()
 	opts.Cancel = func() bool {
 		select {
@@ -1176,7 +1192,7 @@ func (e *Engine) compute(ctx context.Context, req Request, ix *index, abortOnSup
 	}
 	start := time.Now()
 	sub := ix.subFor(req.K, e.cfg.MaxK)
-	g := skyband.ScanGraph(sub.recs, sub.ids, req.Region, req.K)
+	g := skyband.ScanGraphWith(sub.cols, sub.recs, sub.ids, req.Region, req.K)
 	st.FilterDuration = time.Since(start)
 	res := &Result{Epoch: ix.epoch}
 	switch req.Variant {

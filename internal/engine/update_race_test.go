@@ -134,9 +134,18 @@ func TestEngineConcurrentUpdates(t *testing.T) {
 		}
 	}()
 
+	// Observed (epoch, answer) pairs are validated after the updater has
+	// drained, when every epoch's reference is recorded. Checking inline
+	// would race the updater's publish→record window: a query can observe a
+	// just-published epoch before its reference lands in the map, and on a
+	// single CPU the queriers can drain entirely inside one such window.
 	const queriers = 6
-	var validated, skipped int64
-	var cntMu sync.Mutex
+	type observation struct {
+		epoch uint64
+		got   string
+	}
+	var obs []observation
+	var obsMu sync.Mutex
 	for q := 0; q < queriers; q++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -164,27 +173,31 @@ func TestEngineConcurrentUpdates(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				got := fmt.Sprint(res.IDs)
-				expMu.RLock()
-				want, ok := expected[res.Epoch]
-				expMu.RUnlock()
-				cntMu.Lock()
-				if !ok {
-					// The updater has not recorded this epoch yet; rare and
-					// benign (the reference run trails the engine update).
-					skipped++
-				} else {
-					validated++
-					if got != want {
-						t.Errorf("epoch %d: result %s != reference %s (torn superset?)", res.Epoch, got, want)
-					}
-				}
-				cntMu.Unlock()
+				obsMu.Lock()
+				obs = append(obs, observation{res.Epoch, fmt.Sprint(res.IDs)})
+				obsMu.Unlock()
 			}
 		}(int64(q + 1))
 	}
 	wg.Wait()
 
+	var validated, skipped int64
+	expMu.RLock()
+	for _, o := range obs {
+		want, ok := expected[o.epoch]
+		if !ok {
+			// A query served from a pipelined batch's reserved-but-unpublished
+			// snapshot can carry an epoch the updater never published (the
+			// batch superseded); rare and benign.
+			skipped++
+			continue
+		}
+		validated++
+		if o.got != want {
+			t.Errorf("epoch %d: result %s != reference %s (torn superset?)", o.epoch, o.got, want)
+		}
+	}
+	expMu.RUnlock()
 	if validated == 0 {
 		t.Errorf("no query was validated against a recorded epoch (skipped %d)", skipped)
 	}

@@ -524,6 +524,69 @@ func (r *Region) ScoreRange(p []float64) (mn, mx float64) {
 	return mn, mx
 }
 
+// MinScore returns only the minimum score of record p over the region. It
+// follows the exact accumulation order of ScoreRange so the value matches
+// bit for bit, while skipping the half of the work ScoreRange spends on the
+// other extreme — the skyband filter's accept test needs only this side.
+func (r *Region) MinScore(p []float64) float64 {
+	d := len(p)
+	pd := p[d-1]
+	if r.isBox {
+		mn := pd
+		for i := 0; i < d-1; i++ {
+			a := p[i] - pd
+			if a >= 0 {
+				mn += a * r.lo[i]
+			} else {
+				mn += a * r.hi[i]
+			}
+		}
+		return mn
+	}
+	mn := math.Inf(1)
+	for _, v := range r.vertices {
+		s := pd
+		for i := 0; i < d-1; i++ {
+			s += (p[i] - pd) * v[i]
+		}
+		if s < mn {
+			mn = s
+		}
+	}
+	return mn
+}
+
+// MaxScore is the upper-extreme counterpart of MinScore, used by the prune
+// test of the skyband filter. Same bit-identical accumulation order as
+// ScoreRange.
+func (r *Region) MaxScore(p []float64) float64 {
+	d := len(p)
+	pd := p[d-1]
+	if r.isBox {
+		mx := pd
+		for i := 0; i < d-1; i++ {
+			a := p[i] - pd
+			if a >= 0 {
+				mx += a * r.hi[i]
+			} else {
+				mx += a * r.lo[i]
+			}
+		}
+		return mx
+	}
+	mx := math.Inf(-1)
+	for _, v := range r.vertices {
+		s := pd
+		for i := 0; i < d-1; i++ {
+			s += (p[i] - pd) * v[i]
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
 // sideFromExtremes converts the [min, max] range of A·w − B over a region
 // into a Side. A region whose maximum is within tolerance of zero only
 // touches the boundary and counts as Outside; symmetrically for Inside.

@@ -83,12 +83,12 @@ const tol = 1e-9
 
 // Maximize solves max obj·x subject to cons over free variables.
 func Maximize(obj []float64, cons []Constraint) Solution {
-	return solve(obj, cons, true, false)
+	return solve(nil, obj, cons, true, false)
 }
 
 // Minimize solves min obj·x subject to cons over free variables.
 func Minimize(obj []float64, cons []Constraint) Solution {
-	return solve(obj, cons, false, false)
+	return solve(nil, obj, cons, false, false)
 }
 
 // MaximizeNonneg solves max obj·x subject to cons with every variable
@@ -97,10 +97,10 @@ func Minimize(obj []float64, cons []Constraint) Solution {
 // constraints, such as the convex-combination dominance test of the onion
 // layers, where the row count determines the tableau cost.
 func MaximizeNonneg(obj []float64, cons []Constraint) Solution {
-	return solve(obj, cons, true, true)
+	return solve(nil, obj, cons, true, true)
 }
 
-func solve(obj []float64, cons []Constraint, maximize, nonneg bool) Solution {
+func solve(ws *Workspace, obj []float64, cons []Constraint, maximize, nonneg bool) Solution {
 	nv := len(obj)
 	m := len(cons)
 	// Column layout: [u_0..u_{nv-1} | v_0..v_{nv-1} | slacks | artificials | rhs]
@@ -118,15 +118,7 @@ func solve(obj []float64, cons []Constraint, maximize, nonneg bool) Solution {
 	}
 	nCols := nv + vBlock + nSlack + m // + artificials (one per row)
 	artStart := nv + vBlock + nSlack
-	t := &tableau{
-		m:     m,
-		n:     nCols,
-		a:     make([][]float64, m+1),
-		basis: make([]int, m),
-	}
-	for i := range t.a {
-		t.a[i] = make([]float64, nCols+1)
-	}
+	t := ws.tableau(m, nCols)
 	slackIdx := 0
 	for i, c := range cons {
 		if len(c.Coef) != nv {

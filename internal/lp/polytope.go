@@ -19,9 +19,13 @@ const SlackEps = 1e-7
 // supply enough half-spaces to bound the region (arrangement cells always
 // include the query region's bounds).
 func InteriorPoint(dim int, hs []geom.Halfspace) (pt []float64, slack float64, ok bool) {
+	return interiorPoint(nil, dim, hs)
+}
+
+func interiorPoint(ws *Workspace, dim int, hs []geom.Halfspace) (pt []float64, slack float64, ok bool) {
 	// Variables: w_0..w_{dim-1}, t. Maximize t subject to
 	// A_i·w − ||A_i||·t ≥ B_i and t ≤ 1 (cap for safety against unbounded t).
-	cons := make([]Constraint, 0, len(hs)+1)
+	cons, coefs, obj := ws.scratch(len(hs)+1, dim+1)
 	for _, h := range hs {
 		norm := l2(h.A)
 		if norm < geom.Eps {
@@ -30,17 +34,16 @@ func InteriorPoint(dim int, hs []geom.Halfspace) (pt []float64, slack float64, o
 			}
 			continue // trivially true half-space
 		}
-		coef := make([]float64, dim+1)
+		coef := coefs[len(cons)*(dim+1) : (len(cons)+1)*(dim+1) : (len(cons)+1)*(dim+1)]
 		copy(coef, h.A)
 		coef[dim] = -norm
 		cons = append(cons, Constraint{Coef: coef, Rel: GE, RHS: h.B})
 	}
-	capT := make([]float64, dim+1)
+	capT := coefs[len(cons)*(dim+1) : (len(cons)+1)*(dim+1) : (len(cons)+1)*(dim+1)]
 	capT[dim] = 1
 	cons = append(cons, Constraint{Coef: capT, Rel: LE, RHS: 1})
-	obj := make([]float64, dim+1)
 	obj[dim] = 1
-	sol := Maximize(obj, cons)
+	sol := solve(ws, obj, cons, true, false)
 	if sol.Status != Optimal {
 		return nil, 0, false
 	}
@@ -53,7 +56,19 @@ func InteriorPoint(dim int, hs []geom.Halfspace) (pt []float64, slack float64, o
 
 // OptimizeLinear maximizes (or minimizes) obj·w over ∩{A_i·w ≥ B_i}.
 func OptimizeLinear(dim int, hs []geom.Halfspace, obj []float64, maximize bool) (pt []float64, val float64, ok bool) {
-	cons := make([]Constraint, 0, len(hs))
+	return optimizeLinear(nil, dim, hs, obj, maximize)
+}
+
+func optimizeLinear(ws *Workspace, dim int, hs []geom.Halfspace, obj []float64, maximize bool) (pt []float64, val float64, ok bool) {
+	var cons []Constraint
+	if ws != nil {
+		if cap(ws.cons) < len(hs) {
+			ws.cons = make([]Constraint, 0, len(hs)+len(hs)/2)
+		}
+		cons = ws.cons[:0]
+	} else {
+		cons = make([]Constraint, 0, len(hs))
+	}
 	for _, h := range hs {
 		if l2(h.A) < geom.Eps {
 			if h.B > geom.Eps {
@@ -63,12 +78,7 @@ func OptimizeLinear(dim int, hs []geom.Halfspace, obj []float64, maximize bool) 
 		}
 		cons = append(cons, Constraint{Coef: h.A, Rel: GE, RHS: h.B})
 	}
-	var sol Solution
-	if maximize {
-		sol = Maximize(obj, cons)
-	} else {
-		sol = Minimize(obj, cons)
-	}
+	sol := solve(ws, obj, cons, maximize, false)
 	if sol.Status != Optimal {
 		return nil, 0, false
 	}
@@ -94,7 +104,19 @@ func Extremes(dim int, cell []geom.Halfspace, h geom.Halfspace) (mn, mx float64,
 // Feasible reports whether ∩{A_i·w ≥ B_i} has any point at all (not
 // necessarily full-dimensional).
 func Feasible(dim int, hs []geom.Halfspace) ([]float64, bool) {
-	cons := make([]Constraint, 0, len(hs))
+	return feasible(nil, dim, hs)
+}
+
+func feasible(ws *Workspace, dim int, hs []geom.Halfspace) ([]float64, bool) {
+	var cons []Constraint
+	if ws != nil {
+		if cap(ws.cons) < len(hs) {
+			ws.cons = make([]Constraint, 0, len(hs)+len(hs)/2)
+		}
+		cons = ws.cons[:0]
+	} else {
+		cons = make([]Constraint, 0, len(hs))
+	}
 	for _, h := range hs {
 		if l2(h.A) < geom.Eps {
 			if h.B > geom.Eps {
@@ -104,8 +126,17 @@ func Feasible(dim int, hs []geom.Halfspace) ([]float64, bool) {
 		}
 		cons = append(cons, Constraint{Coef: h.A, Rel: GE, RHS: h.B})
 	}
-	obj := make([]float64, dim)
-	sol := Maximize(obj, cons)
+	var obj []float64
+	if ws != nil {
+		if cap(ws.obj) < dim {
+			ws.obj = make([]float64, dim)
+		}
+		obj = ws.obj[:dim]
+		clear(obj)
+	} else {
+		obj = make([]float64, dim)
+	}
+	sol := solve(ws, obj, cons, true, false)
 	if sol.Status != Optimal {
 		return nil, false
 	}

@@ -1,0 +1,116 @@
+package skyband
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// columnsTestData builds record sets that stress the float32 kernel's
+// borderline handling: uniform data, clustered near-ties, exact duplicates,
+// and large-magnitude values that widen the rounding slack.
+func columnsTestData(rng *rand.Rand, n, d int, scale float64, dup bool) [][]float64 {
+	recs := make([][]float64, n)
+	for i := range recs {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64() * scale
+		}
+		recs[i] = p
+	}
+	if dup {
+		// Overwrite a third of the set with copies and near-copies of other
+		// records so scores tie exactly and within float32 resolution.
+		for i := 0; i < n/3; i++ {
+			src := recs[rng.Intn(n)]
+			cp := append([]float64(nil), src...)
+			if i%2 == 0 {
+				cp[rng.Intn(d)] += scale * 1e-8
+			}
+			recs[rng.Intn(n)] = cp
+		}
+	}
+	return recs
+}
+
+// TestColumnsIntervalDifferential pins the columnar float32 prefilter to the
+// float64 rule bit-for-bit: over randomized record sets — including exact
+// duplicates, near-ties inside float32 resolution, and large-magnitude
+// attributes — the excluded set must be element-wise identical.
+func TestColumnsIntervalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	cases := 0
+	for _, d := range []int{2, 3, 4, 6} {
+		for _, n := range []int{12, 60, 400} {
+			for _, scale := range []float64{1, 1000} {
+				for _, dup := range []bool{false, true} {
+					recs := columnsTestData(rng, n, d, scale, dup)
+					cols := NewColumns(recs)
+					for trial := 0; trial < 4; trial++ {
+						r := filterBox(t, rng, d-1)
+						for _, k := range []int{1, 5, n - 1, n} {
+							want := IntervalExcluded(recs, r, k)
+							got := intervalExcludedCols(cols, recs, r, k)
+							if (want == nil) != (got == nil) {
+								t.Fatalf("d=%d n=%d k=%d scale=%g: nil mismatch (want nil=%v)", d, n, k, scale, want == nil)
+							}
+							for i := range want {
+								if want[i] != got[i] {
+									mn, mx := r.ScoreRange(recs[i])
+									t.Fatalf("d=%d n=%d k=%d scale=%g dup=%v: record %d excluded=%v want %v (range [%g,%g])",
+										d, n, k, scale, dup, i, got[i], want[i], mn, mx)
+								}
+							}
+							cases++
+						}
+					}
+				}
+			}
+		}
+	}
+	if cases == 0 {
+		t.Fatal("no cases executed")
+	}
+}
+
+// TestScanGraphWithDifferential pins that the columnar fast path yields the
+// identical r-dominance graph — same member IDs in the same order, same
+// relation — as the float64 ScanGraph, and that stale or mismatched columns
+// fall back rather than corrupt the result.
+func TestScanGraphWithDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for _, d := range []int{3, 4} {
+		for _, n := range []int{50, 300} {
+			recs := columnsTestData(rng, n, d, 1, true)
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = 1000 + i
+			}
+			cols := NewColumns(recs)
+			for trial := 0; trial < 6; trial++ {
+				r := filterBox(t, rng, d-1)
+				k := 1 + rng.Intn(8)
+				want := ScanGraph(recs, ids, r, k)
+				got := ScanGraphWith(cols, recs, ids, r, k)
+				if fmt.Sprint(want.IDs) != fmt.Sprint(got.IDs) {
+					t.Fatalf("d=%d n=%d k=%d: member IDs diverge\nwant %v\ngot  %v", d, n, k, want.IDs, got.IDs)
+				}
+				wr, gr := graphRelation(want), graphRelation(got)
+				if len(wr) != len(gr) {
+					t.Fatalf("d=%d n=%d k=%d: relation sizes diverge: want %d got %d", d, n, k, len(wr), len(gr))
+				}
+				for e := range wr {
+					if !gr[e] {
+						t.Fatalf("d=%d n=%d k=%d: edge %s missing from columnar graph", d, n, k, e)
+					}
+				}
+				// A columns layout for a different record set must be ignored.
+				stale := NewColumns(recs[:n/2])
+				fb := ScanGraphWith(stale, recs, ids, r, k)
+				if fmt.Sprint(want.IDs) != fmt.Sprint(fb.IDs) {
+					t.Fatalf("d=%d n=%d k=%d: stale-columns fallback diverged", d, n, k)
+				}
+			}
+		}
+	}
+}

@@ -123,27 +123,5 @@ func IntervalExcluded(recs [][]float64, r *geom.Region, k int) []bool {
 // The resulting graph has exactly the nodes and edges BuildGraph derives
 // over an index of the same records.
 func ScanGraph(recs [][]float64, ids []int, r *geom.Region, k int) *Graph {
-	survRecs := recs
-	survIDs := ids
-	if excluded := IntervalExcluded(recs, r, k); excluded != nil {
-		survRecs = make([][]float64, 0, 4*k)
-		survIDs = make([]int, 0, 4*k)
-		for i := range recs {
-			if !excluded[i] {
-				survRecs = append(survRecs, recs[i])
-				survIDs = append(survIDs, ids[i])
-			}
-		}
-	}
-	pivot := r.Pivot()
-	key := func(p []float64) float64 { return geom.Score(p, pivot) }
-	dom := func(p, q []float64) bool { return RDominates(p, q, r) }
-	keep := scanSkyband(survRecs, k, key, dom)
-	mrecs := make([][]float64, len(keep))
-	mids := make([]int, len(keep))
-	for i, idx := range keep {
-		mrecs[i] = survRecs[idx]
-		mids[i] = survIDs[idx]
-	}
-	return NewGraph(mrecs, mids, r, k)
+	return ScanGraphWith(nil, recs, ids, r, k)
 }

@@ -6,8 +6,6 @@
 package skyband
 
 import (
-	"container/heap"
-
 	"repro/internal/geom"
 	"repro/internal/rtree"
 )
@@ -25,7 +23,9 @@ func RDominates(p, q []float64, r *geom.Region) bool {
 }
 
 // bbsItem is a heap entry of the branch-and-bound search: either an R-tree
-// node (represented by its MBB top corner) or a concrete record.
+// node or a concrete record. For node items rec holds the MBB top corner the
+// parent entry already carries (Entry.Max covers the whole subtree), so the
+// pop path never recomputes corners from child entries.
 type bbsItem struct {
 	key  float64
 	node *rtree.Node
@@ -33,18 +33,50 @@ type bbsItem struct {
 	id   int
 }
 
+// bbsHeap is a concretely-typed max-heap ordered by key. container/heap was
+// retired here deliberately: its interface{}-based Push/Pop box every bbsItem
+// (two heap allocations per visited entry), which profiling showed was the
+// single largest allocation source of a cold query.
 type bbsHeap []bbsItem
 
-func (h bbsHeap) Len() int            { return len(h) }
-func (h bbsHeap) Less(i, j int) bool  { return h[i].key > h[j].key } // max-heap
-func (h bbsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *bbsHeap) Push(x interface{}) { *h = append(*h, x.(bbsItem)) }
-func (h *bbsHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *bbsHeap) push(it bbsItem) {
+	a := append(*h, it)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if a[parent].key >= a[i].key {
+			break
+		}
+		a[parent], a[i] = a[i], a[parent]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *bbsHeap) pop() bbsItem {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = bbsItem{} // drop node/rec pointers so the backing array doesn't pin them
+	a = a[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && a[r].key > a[l].key {
+			c = r
+		}
+		if a[i].key >= a[c].key {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	*h = a
+	return top
 }
 
 // member is an accepted skyband record during BBS.
@@ -75,13 +107,12 @@ func (ib *intervalBound) prune(p []float64) bool {
 	if len(ib.mins) < ib.k {
 		return false
 	}
-	_, mx := ib.r.ScoreRange(p)
-	return mx+geom.Eps < ib.mins[0]
+	return ib.r.MaxScore(p)+geom.Eps < ib.mins[0]
 }
 
 // accept folds an accepted member's minimum score into the bound.
 func (ib *intervalBound) accept(rec []float64) {
-	mn, _ := ib.r.ScoreRange(rec)
+	mn := ib.r.MinScore(rec)
 	if len(ib.mins) < ib.k {
 		ib.mins = append(ib.mins, mn)
 		sortFloat64sInto(ib.mins)
@@ -119,9 +150,9 @@ func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func
 	pushNode := func(n *rtree.Node) {
 		for _, e := range n.Entries() {
 			if n.Leaf() {
-				heap.Push(&h, bbsItem{key: key(e.Min), rec: e.Min, id: e.RecordID})
+				h.push(bbsItem{key: key(e.Min), rec: e.Min, id: e.RecordID})
 			} else {
-				heap.Push(&h, bbsItem{key: key(e.Max), node: e.Child})
+				h.push(bbsItem{key: key(e.Max), node: e.Child, rec: e.Max})
 			}
 		}
 	}
@@ -139,11 +170,10 @@ func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func
 		}
 		return false
 	}
-	var corner []float64 // scratch reused across node pops
-	for h.Len() > 0 {
-		it := heap.Pop(&h).(bbsItem)
+	for len(h) > 0 {
+		it := h.pop()
 		if it.node != nil {
-			corner = nodeTopCornerInto(corner, it.node)
+			corner := it.rec // the parent entry's Max: covers the subtree
 			if ib != nil && ib.prune(corner) {
 				continue
 			}
@@ -165,22 +195,6 @@ func bbs(t *rtree.Tree, k int, key func(point []float64) float64, dominates func
 		}
 	}
 	return members
-}
-
-// nodeTopCornerInto computes the top corner of a node's MBB — the point with
-// the maximum value of its entries in every dimension, which coordinate-wise
-// dominates every record stored under the node — into the reusable buffer.
-func nodeTopCornerInto(buf []float64, n *rtree.Node) []float64 {
-	es := n.Entries()
-	mx := append(buf[:0], es[0].Max...)
-	for _, e := range es[1:] {
-		for i := range mx {
-			if e.Max[i] > mx[i] {
-				mx[i] = e.Max[i]
-			}
-		}
-	}
-	return mx
 }
 
 // KSkyband returns the ids of the records dominated by fewer than k others,

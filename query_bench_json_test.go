@@ -1,0 +1,219 @@
+package utk
+
+// Machine-readable query-path latency baseline, mirroring the stream
+// harness's BENCH_stream.json: TestQueryBenchJSON replays the serving paths
+// the allocation budgets pin (cold, warm, hot, derived × UTK1/UTK2) on the
+// default 50k/d=4 workload and writes per-path p50/p99/mean latency and
+// allocs/op as JSON. The checked-in BENCH_query.json was produced by
+//
+//	go test -run TestQueryBenchJSON -querybench-json BENCH_query.json .
+//
+// on a quiet machine; CI regenerates a fresh copy every push and warns when
+// any path's p50 or allocs/op exceeds 2× the checked-in numbers. Refresh the
+// baseline with the command above when a latency change is intended.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+var querybenchJSON = flag.String("querybench-json", "", "write query-path benchmark results to this file and skip nothing else")
+
+type queryBenchPath struct {
+	Ops         int     `json:"ops"`
+	MeanNs      int64   `json:"mean_ns"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type queryBenchReport struct {
+	Config struct {
+		N     int     `json:"n"`
+		D     int     `json:"d"`
+		K     int     `json:"k"`
+		Sigma float64 `json:"sigma"`
+	} `json:"config"`
+	Paths map[string]queryBenchPath `json:"paths"`
+}
+
+// TestQueryBenchJSON is the BENCH_query.json generator; it only runs when
+// -querybench-json names an output file (CI does; `go test ./...` skips it).
+func TestQueryBenchJSON(t *testing.T) {
+	if *querybenchJSON == "" {
+		t.Skip("pass -querybench-json <path> to generate the query benchmark report")
+	}
+	const ops = 300
+	recs := dataset.Synthetic(dataset.IND, benchN, benchD, 1)
+	ds, err := NewDataset(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := experiments.RandomBoxes(benchD-1, benchSigma, 1, 7)[0]
+	lo, hi := gr.Bounds()
+	r, err := NewBoxRegion(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{K: benchK, Region: r}
+	ctx := context.Background()
+
+	rep := queryBenchReport{Paths: map[string]queryBenchPath{}}
+	rep.Config.N, rep.Config.D, rep.Config.K, rep.Config.Sigma = benchN, benchD, benchK, benchSigma
+
+	measure := func(name string, f func()) {
+		t.Helper()
+		for i := 0; i < 10; i++ {
+			f() // warm pools and per-depth sub-indexes off the record
+		}
+		durs := make([]time.Duration, ops)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := range durs {
+			start := time.Now()
+			f()
+			durs[i] = time.Since(start)
+		}
+		runtime.ReadMemStats(&m1)
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var total time.Duration
+		for _, d := range durs {
+			total += d
+		}
+		rep.Paths[name] = queryBenchPath{
+			Ops:         ops,
+			MeanNs:      int64(total) / int64(ops),
+			P50Ns:       int64(durs[ops/2]),
+			P99Ns:       int64(durs[ops*99/100]),
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		}
+		t.Logf("%-14s p50=%v p99=%v allocs/op=%.0f", name,
+			time.Duration(rep.Paths[name].P50Ns), time.Duration(rep.Paths[name].P99Ns),
+			rep.Paths[name].AllocsPerOp)
+	}
+
+	measure("cold/utk1", func() {
+		if _, err := ds.UTK1(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	measure("cold/utk2", func() {
+		if _, err := ds.UTK2(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	warm, err := ds.NewEngine(EngineConfig{MaxK: 2 * benchK, CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure("warm/utk1", func() {
+		if _, err := warm.UTK1(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	measure("warm/utk2", func() {
+		if _, err := warm.UTK2(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	hot, err := ds.NewEngine(EngineConfig{MaxK: 2 * benchK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure("hot/utk1", func() {
+		res, err := hot.UTK1(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+	})
+	measure("hot/utk2", func() {
+		res, err := hot.UTK2(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+	})
+
+	// Derived paths stream distinct nested regions under one cached outer
+	// UTK2 partitioning, so every op exercises containment derivation rather
+	// than an exact-repeat cache hit.
+	der, err := ds.NewEngine(EngineConfig{MaxK: 2 * benchK, CacheEntries: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outerGr := experiments.RandomBoxes(benchD-1, 0.02, 1, 7)[0]
+	olo, ohi := outerGr.Bounds()
+	outer, err := NewBoxRegion(olo, ohi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := der.UTK2(ctx, Query{K: benchK, Region: outer}); err != nil {
+		t.Fatal(err)
+	}
+	const nNested = 2 * (ops + 16)
+	nested := make([]*Region, 0, nNested)
+	for i := 0; len(nested) < cap(nested); i++ {
+		nlo := make([]float64, len(olo))
+		nhi := make([]float64, len(ohi))
+		for j := range nlo {
+			w := ohi[j] - olo[j]
+			nlo[j] = olo[j] + w*(0.02+0.40*float64(i)/float64(nNested))
+			nhi[j] = ohi[j] - w*(0.02+0.35*float64(i)/float64(nNested))
+		}
+		nr, err := NewBoxRegion(nlo, nhi)
+		if err != nil {
+			continue
+		}
+		nested = append(nested, nr)
+	}
+	next := 0
+	take := func() *Region {
+		if next >= len(nested) {
+			t.Fatal("nested region stream exhausted")
+		}
+		nr := nested[next]
+		next++
+		return nr
+	}
+	measure("derived/utk1", func() {
+		res, err := der.UTK1(ctx, Query{K: benchK, Region: take()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Derived {
+			t.Fatal("nested query was not containment-derived")
+		}
+	})
+	measure("derived/utk2", func() {
+		res, err := der.UTK2(ctx, Query{K: benchK, Region: take()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Derived {
+			t.Fatal("nested query was not containment-derived")
+		}
+	})
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*querybenchJSON, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *querybenchJSON)
+}
