@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/stream"
@@ -45,8 +46,22 @@ func main() {
 		jsonOut   = flag.String("json", "", "write results as JSON to this file")
 		pipelined = flag.Bool("pipelined", false, "apply batches through the pipelined begin/commit path")
 		preset    = flag.String("preset", "", "workload preset: 250k or 1m; explicit flags still override")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "utkstream:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "utkstream:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *preset != "" {
 		set := map[string]bool{}
@@ -129,6 +144,9 @@ func report(name string, r *stream.Result) {
 	if r.Batches > 0 {
 		fmt.Printf("  updates: %d batches, %d ops, %.0f updates/s; batch p50=%s p99=%s max=%s\n",
 			r.Batches, r.Ops, r.UpdatesPerSec, r.UpdateP50, r.UpdateP99, r.UpdateMax)
+		fmt.Printf("  begin stage (blocking): p50=%s p99=%s max=%s; band_maintenance=%s over %d ops in %d chunks\n",
+			r.BeginP50, r.BeginP99, r.BeginMax,
+			time.Duration(r.Stats.BandMaintenanceNS), r.Stats.BatchApplyOps, r.Stats.ParallelMaintenanceChunks)
 	}
 	fmt.Printf("  queries: %d (%.0f/s); p50=%s p99=%s max=%s\n",
 		r.Queries, r.QueriesPerSec, r.QueryP50, r.QueryP99, r.QueryMax)

@@ -197,6 +197,14 @@ type EngineStats struct {
 	// shape once per batch instead of once per entry.
 	ProbeBatches uint64
 	ProbesSaved  uint64
+	// BandMaintenanceNS is the cumulative wall time (nanoseconds) spent in
+	// batch-native candidate-superset maintenance — the blocking begin-stage
+	// cost of applying update batches. BatchApplyOps counts update ops
+	// applied through that batch path, and ParallelMaintenanceChunks the
+	// maintenance chunks fanned out across executor workers.
+	BandMaintenanceNS         uint64
+	BatchApplyOps             uint64
+	ParallelMaintenanceChunks uint64
 	// MaxK and Workers echo the effective configuration. Shards is the
 	// number of horizontal partitions behind the engine (1 for NewEngine).
 	MaxK    int
@@ -315,9 +323,14 @@ func (e *Engine) Stats() EngineStats {
 		ShadowDepth:     st.ShadowDepth,
 		ShadowGrows:     st.ShadowGrows,
 		ShadowShrinks:   st.ShadowShrinks,
-		MaxK:            st.MaxK,
-		Workers:         st.Workers,
-		Shards:          e.e.Shards(),
+
+		BandMaintenanceNS:         st.BandMaintenanceNS,
+		BatchApplyOps:             st.BatchApplyOps,
+		ParallelMaintenanceChunks: st.ParallelMaintenanceChunks,
+
+		MaxK:    st.MaxK,
+		Workers: st.Workers,
+		Shards:  e.e.Shards(),
 	}
 }
 

@@ -236,6 +236,14 @@ type Stats struct {
 	// entry against every classified delta individually.
 	ProbeBatches uint64
 	ProbesSaved  uint64
+	// BandMaintenanceNS is the cumulative wall time spent in batch-native
+	// band maintenance (the blocking begin-stage skyband work);
+	// BatchApplyOps counts update ops applied through that path, and
+	// ParallelMaintenanceChunks the member-pass chunks it fanned out across
+	// the executor pool.
+	BandMaintenanceNS         uint64
+	BatchApplyOps             uint64
+	ParallelMaintenanceChunks uint64
 	// MaxK and Workers echo the effective configuration.
 	MaxK    int
 	Workers int
@@ -417,6 +425,10 @@ func New(t *rtree.Tree, records [][]float64, cfg Config) (*Engine, error) {
 	// the churn the workload actually applies.
 	dyn.EnableIncrementalRepair(0)
 	dyn.EnableAdaptiveShadow(cfg.ShadowDepth, 8*cfg.ShadowDepth)
+	// Batch band maintenance fans its member pass over the query pool; the
+	// update lock serializes the calls, so workers only ever see read-only
+	// chunk tasks.
+	dyn.SetPool(e.pool)
 	e.dyn = dyn
 	e.dynStats = dyn.Stats()
 	ids, recs := dyn.Band()
@@ -674,57 +686,59 @@ func (e *Engine) beginBatch(ops []UpdateOp) (*pendingBatch, error) {
 		}
 	}
 
-	// Batch-aware probe state: the whole batch shares one starting-band id
-	// set (to classify deletes) and one final-band snapshot (to probe
-	// against and to publish), instead of re-snapshotting the band per op.
-	// See affectsTest for the soundness argument.
-	var startBand map[int]bool
-	if e.cache != nil && len(deleted) > 0 {
-		ids, _ := e.dyn.Band()
-		startBand = make(map[int]bool, len(ids))
-		for _, id := range ids {
-			startBand[id] = true
-		}
-	}
-
 	type pendingDelete struct {
 		id  int
 		rec []float64
 	}
-	ids := make([]int, len(ops))
+	// Deletes of starting-band records are the only deletes that can change a
+	// cached answer; the probe runs against the final band below. Membership
+	// is checked per id against the pre-apply state (this whole pass runs
+	// before ApplyOps, under updMu), which matches the starting-band snapshot
+	// semantics without materializing the band. Pre-delete coordinates are
+	// captured here too, since the batch path applies every op in one call.
+	// (A non-coalesced delete always targets a pre-batch id — a delete of an
+	// id this batch inserts is coalesced away — so the record is live here.)
 	var delProbes []pendingDelete
+	if e.cache != nil {
+		for i, op := range ops {
+			if op.Kind == UpdateDelete && !coalesce[i] && e.dyn.InBand(op.ID) {
+				delProbes = append(delProbes, pendingDelete{id: op.ID, rec: e.dyn.Record(op.ID)})
+			}
+		}
+	}
+	coalescedOps := uint64(0)
+	for i := range ops {
+		if coalesce[i] && ops[i].Kind == UpdateInsert {
+			coalescedOps += 2 // the pair: this insert and its delete
+		}
+	}
+
+	// Batch-native apply: one ApplyOps call plans the same coalescing as the
+	// validation pass above (the two loops run the identical algorithm, so id
+	// assignment lines up), computes all dominance deltas in one pass over
+	// the band, and runs at most one end-of-batch maintenance step.
+	sops := make([]skyband.Op, len(ops))
+	for i, op := range ops {
+		if op.Kind == UpdateInsert {
+			sops[i] = skyband.Op{Insert: true, Record: op.Record}
+		} else {
+			sops[i] = skyband.Op{ID: op.ID}
+		}
+	}
+	ids, effs, err := e.dyn.ApplyOps(sops)
+	if err != nil {
+		// Unreachable after validation; kept as a defensive error.
+		return nil, ErrUnknownRecord
+	}
 	batchInserted := map[int]bool{}
 	bandChanged := false
-	coalescedOps := uint64(0)
 	for i, op := range ops {
 		if coalesce[i] {
-			if op.Kind == UpdateInsert {
-				ids[i] = e.dyn.SkipID()
-				coalescedOps += 2 // the pair: this insert and its delete
-			} else {
-				ids[i] = op.ID
-			}
 			continue
 		}
+		bandChanged = bandChanged || effs[i].BandChanged
 		if op.Kind == UpdateInsert {
-			id, eff := e.dyn.Insert(op.Record)
-			ids[i] = id
-			batchInserted[id] = true
-			bandChanged = bandChanged || eff.BandChanged
-		} else {
-			rec, eff, ok := e.dyn.Delete(op.ID)
-			if !ok {
-				// Unreachable after validation; kept as a defensive error.
-				return nil, ErrUnknownRecord
-			}
-			ids[i] = op.ID
-			bandChanged = bandChanged || eff.BandChanged
-			if e.cache != nil && startBand[op.ID] && !batchInserted[op.ID] {
-				// Deletes of starting-band records that the batch itself did
-				// not insert are the only deletes that can change a cached
-				// answer; the probe runs against the final band below.
-				delProbes = append(delProbes, pendingDelete{id: op.ID, rec: rec})
-			}
+			batchInserted[ids[i]] = true
 		}
 	}
 
@@ -1143,8 +1157,13 @@ func (e *Engine) Stats() Stats {
 		ShadowDepth:     ds.ShadowDepth,
 		ShadowGrows:     ds.ShadowGrows,
 		ShadowShrinks:   ds.ShadowShrinks,
-		MaxK:            e.cfg.MaxK,
-		Workers:         e.cfg.Workers,
+
+		BandMaintenanceNS:         ds.BandMaintenanceNS,
+		BatchApplyOps:             ds.BatchApplyOps,
+		ParallelMaintenanceChunks: ds.ParallelMaintenanceChunks,
+
+		MaxK:    e.cfg.MaxK,
+		Workers: e.cfg.Workers,
 	}
 	if e.cache != nil {
 		st.CacheEntries = e.cache.Len()

@@ -98,6 +98,7 @@ func Restore(st *State, cfg Config) (*Engine, error) {
 		reservedEpoch: st.Epoch,
 	}
 	e.commitCond = sync.NewCond(&e.commitMu)
+	dyn.SetPool(e.pool)
 	if cfg.CacheEntries > 0 {
 		e.cache = NewResultCache(cfg.CacheEntries)
 	}

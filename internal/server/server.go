@@ -533,9 +533,14 @@ func engineStatsPayload(st utk.EngineStats) map[string]any {
 		"shadow_depth":     st.ShadowDepth,
 		"shadow_grows":     st.ShadowGrows,
 		"shadow_shrinks":   st.ShadowShrinks,
-		"max_k":            st.MaxK,
-		"workers":          st.Workers,
-		"shards":           st.Shards,
+
+		"band_maintenance_ns":         st.BandMaintenanceNS,
+		"batch_apply_ops":             st.BatchApplyOps,
+		"parallel_maintenance_chunks": st.ParallelMaintenanceChunks,
+
+		"max_k":   st.MaxK,
+		"workers": st.Workers,
+		"shards":  st.Shards,
 	}
 }
 
@@ -637,6 +642,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"utk_exhaustions_total", "Shadow exhaustions forcing a candidate reseed.", "counter", func(st utk.EngineStats) any { return st.Exhaustions }},
 		{"utk_repair_steps_total", "Chunked incremental-reseed steps executed.", "counter", func(st utk.EngineStats) any { return st.RepairSteps }},
 		{"utk_shadow_depth", "Current adaptive shadow retention depth (deepest shard).", "gauge", func(st utk.EngineStats) any { return st.ShadowDepth }},
+		{"utk_band_maintenance_ns_total", "Wall time spent in batch-native band maintenance (begin-stage blocking).", "counter", func(st utk.EngineStats) any { return st.BandMaintenanceNS }},
+		{"utk_batch_apply_ops_total", "Update ops applied through the batch-native maintenance path.", "counter", func(st utk.EngineStats) any { return st.BatchApplyOps }},
+		{"utk_parallel_maintenance_chunks_total", "Band-maintenance chunks fanned out across executor workers.", "counter", func(st utk.EngineStats) any { return st.ParallelMaintenanceChunks }},
 	}
 	for _, sr := range perDataset {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.kind)

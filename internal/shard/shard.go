@@ -1073,6 +1073,9 @@ func (s *Engine) Stats() engine.Stats {
 		agg.RepairSteps += st.RepairSteps
 		agg.ShadowGrows += st.ShadowGrows
 		agg.ShadowShrinks += st.ShadowShrinks
+		agg.BandMaintenanceNS += st.BandMaintenanceNS
+		agg.BatchApplyOps += st.BatchApplyOps
+		agg.ParallelMaintenanceChunks += st.ParallelMaintenanceChunks
 		// The deepest per-shard retention: how far beyond MaxK any shard has
 		// had to grow to absorb its churn.
 		if st.ShadowDepth > agg.ShadowDepth {

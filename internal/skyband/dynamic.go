@@ -2,8 +2,10 @@ package skyband
 
 import (
 	"errors"
+	"math"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/geom"
 )
 
@@ -112,6 +114,10 @@ type Dynamic struct {
 	lastPressure uint64 // inserts+deletes at the previous exhaustion or repair start
 	lastShrinkAt uint64
 
+	// pool, when set (SetPool), fans ApplyOps' one-pass dominance accounting
+	// across executor workers; nil keeps batch maintenance sequential.
+	pool *exec.Pool
+
 	inserts       uint64
 	deletes       uint64
 	promotions    uint64
@@ -123,6 +129,40 @@ type Dynamic struct {
 	repairSteps   uint64
 	shadowGrows   uint64
 	shadowShrinks uint64
+	// Batch-path counters (see ApplyOps): wall time spent in batch band
+	// maintenance, ops applied through the batch path, and member-pass
+	// chunks fanned out in parallel.
+	bandMaintNS    uint64
+	batchOps       uint64
+	parallelChunks uint64
+
+	// Member caches parallel to ents, maintained by addEntry/removeAt:
+	// each member's coordinate sum (its dominance-pruning key), its float32
+	// image for the columnar prescreen (row-major, dim floats per entry),
+	// and the conversion-error magnitude max(1, |coord|...) the prescreen's
+	// error bound needs. Records are immutable, so none of these go stale.
+	entSums   []float64
+	ent32     []float32
+	entMaxAbs []float64
+
+	// Member-pass scratch reused across batches (the structure is
+	// single-writer): bucket ids, the bucket-sorted entry order, and the
+	// batch-start count snapshot. Capacity-grown only, never shrunk.
+	mpBkt []uint8
+	mpOrd []int
+	mpCnt []int32
+	// Pass B's per-chunk pair buffers and the arena its merged per-delta
+	// dominator lists are carved from. Both die with the batch (replay reads
+	// them before ApplyOps returns), so the backing arrays are recycled.
+	mpBy  [][]int
+	mpDom []int
+
+	// rmGen counts member removals (deletes and evictions). ApplyOps
+	// snapshots it in rmBase at batch start; while the two agree, every
+	// member-set snapshot id is provably still a member and the replay skips
+	// its per-id liveness lookups.
+	rmGen  uint64
+	rmBase uint64
 }
 
 type dynEntry struct {
@@ -181,6 +221,14 @@ type DynamicStats struct {
 	// ShadowGrows/ShadowShrinks count adaptive shadow-depth resizes.
 	ShadowGrows   uint64
 	ShadowShrinks uint64
+	// BandMaintenanceNS is the cumulative wall time (nanoseconds) spent
+	// inside ApplyOps — the begin-stage band-maintenance cost of batch
+	// apply. BatchApplyOps counts the update ops applied through ApplyOps
+	// (coalesced pairs excluded), and ParallelMaintenanceChunks the
+	// member-pass chunks that were fanned out across executor workers.
+	BandMaintenanceNS         uint64
+	BatchApplyOps             uint64
+	ParallelMaintenanceChunks uint64
 }
 
 // NewDynamic builds the structure over the initial records (ids 0..n-1).
@@ -260,6 +308,15 @@ func (d *Dynamic) SkipID() int {
 
 // Insert adds a record (the slice is copied) and returns its assigned id.
 func (d *Dynamic) Insert(rec []float64) (int, Effect) {
+	id, eff := d.applyInsert(rec)
+	d.tickMaintenance()
+	return id, eff
+}
+
+// applyInsert is Insert without the maintenance tick — the shared core of
+// the per-op path (which ticks after every op) and ApplyOps' post-exhaustion
+// fallback (which defers ticking to one end-of-batch step).
+func (d *Dynamic) applyInsert(rec []float64) (int, Effect) {
 	id := d.nextID
 	d.nextID++
 	cp := append([]float64(nil), rec...)
@@ -315,13 +372,21 @@ func (d *Dynamic) Insert(rec []float64) (int, Effect) {
 		// admission depth, so it joins the mid-repair arrivals list.
 		d.pendIns = append(d.pendIns, id)
 	}
-	d.tickMaintenance()
 	return id, eff
 }
 
 // Delete removes a record by id, returning its coordinates. ok is false when
 // the id is not live.
 func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
+	rec, eff, ok = d.applyDelete(id)
+	if ok {
+		d.tickMaintenance()
+	}
+	return rec, eff, ok
+}
+
+// applyDelete is Delete without the maintenance tick (see applyInsert).
+func (d *Dynamic) applyDelete(id int) (rec []float64, eff Effect, ok bool) {
 	rec, ok = d.live[id]
 	if !ok {
 		return nil, Effect{}, false
@@ -349,7 +414,6 @@ func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
 				}
 			}
 		}
-		d.tickMaintenance()
 		return rec, eff, true
 	}
 
@@ -392,7 +456,6 @@ func (d *Dynamic) Delete(id int) (rec []float64, eff Effect, ok bool) {
 			d.maybeStartRepair()
 		}
 	}
-	d.tickMaintenance()
 	return rec, eff, true
 }
 
@@ -430,7 +493,18 @@ func (d *Dynamic) exhaust(eff *Effect) {
 // slack level per update, so the repair always lands before the band's
 // guarantee can break, and no single update ever does more than
 // chunk + ceil(remaining/slack) + 1 units of repair work.
-func (d *Dynamic) tickMaintenance() {
+func (d *Dynamic) tickMaintenance() { d.tickMaintenanceN(1) }
+
+// tickMaintenanceN is the batched form of the per-update tick: one
+// maintenance step carrying the pacing budget of n applied updates. ApplyOps
+// calls it once per batch, so a batch advances an in-flight repair with at
+// most one chunked repairStep instead of one per exhausting op, while the
+// deadline countdown and the work budget shrink exactly as n per-op ticks
+// would have. n = 1 reproduces the per-op tick bit for bit.
+func (d *Dynamic) tickMaintenanceN(n int) {
+	if n <= 0 {
+		return
+	}
 	if !d.repairing {
 		d.maybeShrinkShadow()
 		return
@@ -467,10 +541,18 @@ func (d *Dynamic) tickMaintenance() {
 	if left < 1 {
 		left = 1
 	}
-	if d.repairLeft > 1 {
-		d.repairLeft--
+	if d.repairLeft > n {
+		d.repairLeft -= n
+	} else {
+		d.repairLeft = 1
 	}
-	d.repairStep(d.repairChunk*scCost + (remaining+left-1)/left + adCost)
+	// n deadline shares of the outstanding work, never more than the whole
+	// estimate — the same total a run of n per-op ticks would have granted.
+	share := n * ((remaining + left - 1) / left)
+	if share > remaining {
+		share = remaining
+	}
+	d.repairStep(n*d.repairChunk*scCost + share + adCost)
 }
 
 // maybeStartRepair snapshots the non-member population for incremental
@@ -954,18 +1036,51 @@ func coordSum(rec []float64) float64 {
 // ascending id. The returned slices are fresh; the record slices are shared
 // and must not be mutated.
 func (d *Dynamic) Band() ([]int, [][]float64) {
-	ids := make([]int, 0, d.band)
+	// Collect (id, position) pairs packed into one int each — id in the high
+	// bits, entry position in the low 21 — so the sort runs the comparator-free
+	// integer fast path and the record gather reads ents directly instead of
+	// going back through the pos map. Falls back to a keyed sort if the member
+	// set ever outgrows the position field.
+	const posBits = 21
+	if len(d.ents) < 1<<posBits {
+		at := make([]int, 0, d.band)
+		for i := range d.ents {
+			if d.ents[i].count < d.k {
+				at = append(at, d.ents[i].id<<posBits|i)
+			}
+		}
+		sort.Ints(at)
+		ids := make([]int, len(at))
+		recs := make([][]float64, len(at))
+		for i, key := range at {
+			p := key & (1<<posBits - 1)
+			ids[i] = key >> posBits
+			recs[i] = d.ents[p].rec
+		}
+		return ids, recs
+	}
+	at := make([]int, 0, d.band)
 	for i := range d.ents {
 		if d.ents[i].count < d.k {
-			ids = append(ids, d.ents[i].id)
+			at = append(at, i)
 		}
 	}
-	sort.Ints(ids)
-	recs := make([][]float64, len(ids))
-	for i, id := range ids {
-		recs[i] = d.ents[d.pos[id]].rec
+	sort.Slice(at, func(a, b int) bool { return d.ents[at[a]].id < d.ents[at[b]].id })
+	ids := make([]int, len(at))
+	recs := make([][]float64, len(at))
+	for i, p := range at {
+		ids[i] = d.ents[p].id
+		recs[i] = d.ents[p].rec
 	}
 	return ids, recs
+}
+
+// InBand reports whether id is currently a band member: live with an exact
+// dominator count below k. It is the per-id equivalent of membership in
+// Band()'s id slice, without materializing the snapshot.
+func (d *Dynamic) InBand(id int) bool {
+	p, ok := d.pos[id]
+	return ok && d.ents[p].count < d.k
 }
 
 // Len returns the number of live records.
@@ -1006,8 +1121,19 @@ func (d *Dynamic) Stats() DynamicStats {
 		RepairSteps:   d.repairSteps,
 		ShadowGrows:   d.shadowGrows,
 		ShadowShrinks: d.shadowShrinks,
+
+		BandMaintenanceNS:         d.bandMaintNS,
+		BatchApplyOps:             d.batchOps,
+		ParallelMaintenanceChunks: d.parallelChunks,
 	}
 }
+
+// SetPool hands the structure an executor for batch maintenance: ApplyOps
+// fans its one-pass dominance accounting over the pool's workers (the caller
+// still serializes all access to the structure; the pool is used only for
+// read-only fan-out inside a single ApplyOps call). A nil pool — the default
+// — keeps every pass sequential.
+func (d *Dynamic) SetPool(p *exec.Pool) { d.pool = p }
 
 // Rebuild recomputes the member set from scratch over the live records,
 // restoring the coverage depth to capK. The automatic shadow-exhaustion path
@@ -1019,6 +1145,15 @@ func (d *Dynamic) Rebuild() {
 }
 
 func (d *Dynamic) addEntry(e dynEntry) {
+	d.entSums = append(d.entSums, coordSum(e.rec))
+	m := 1.0
+	for _, v := range e.rec {
+		d.ent32 = append(d.ent32, float32(v))
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	d.entMaxAbs = append(d.entMaxAbs, m)
 	d.pos[e.id] = len(d.ents)
 	d.ents = append(d.ents, e)
 	if d.repairing {
@@ -1031,12 +1166,20 @@ func (d *Dynamic) addEntry(e dynEntry) {
 // removeAt drops the member at position i by swapping in the last entry.
 func (d *Dynamic) removeAt(i int) {
 	last := len(d.ents) - 1
+	dim := len(d.ents[i].rec)
 	delete(d.pos, d.ents[i].id)
 	if i != last {
 		d.ents[i] = d.ents[last]
 		d.pos[d.ents[i].id] = i
+		d.entSums[i] = d.entSums[last]
+		d.entMaxAbs[i] = d.entMaxAbs[last]
+		copy(d.ent32[i*dim:(i+1)*dim], d.ent32[last*dim:(last+1)*dim])
 	}
 	d.ents = d.ents[:last]
+	d.entSums = d.entSums[:last]
+	d.entMaxAbs = d.entMaxAbs[:last]
+	d.ent32 = d.ent32[:last*dim]
+	d.rmGen++
 }
 
 // rebuild recomputes members and exact counts from the live records.
@@ -1081,6 +1224,9 @@ func (d *Dynamic) setMembersAt(recs [][]float64, ids []int, depth int) {
 	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
 
 	d.ents = d.ents[:0]
+	d.entSums = d.entSums[:0]
+	d.entMaxAbs = d.entMaxAbs[:0]
+	d.ent32 = d.ent32[:0]
 	d.pos = make(map[int]int, 4*depth)
 	d.band = 0
 	for _, i := range order {

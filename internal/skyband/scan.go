@@ -93,17 +93,24 @@ func IntervalExcluded(recs [][]float64, r *geom.Region, k int) []bool {
 	if n <= k {
 		return nil
 	}
-	smax := make([]float64, n)
+	// θ needs only the minimum bound of every record; the maximum bound is
+	// needed only for records whose minimum already sits below θ (for the
+	// rest, smax ≥ smin ≥ θ settles the verdict without computing it).
+	// MinScore/MaxScore accumulate bit-identically to ScoreRange, so the
+	// excluded set matches the fused two-bound scan exactly while skipping
+	// the MaxScore pass for the ≥ k records at or above the threshold.
 	smin := make([]float64, n)
 	for i, rec := range recs {
-		smin[i], smax[i] = r.ScoreRange(rec)
+		smin[i] = r.MinScore(rec)
 	}
 	kth := append([]float64(nil), smin...)
 	sort.Float64s(kth)
 	theta := kth[n-k] // k-th largest minimum score
 	excluded := make([]bool, n)
 	for i := range recs {
-		excluded[i] = smax[i]+geom.Eps < theta
+		if smin[i]+geom.Eps < theta {
+			excluded[i] = r.MaxScore(recs[i])+geom.Eps < theta
+		}
 	}
 	return excluded
 }
